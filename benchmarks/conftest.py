@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper's evaluation:
+it runs the corresponding experiment once under pytest-benchmark (wall
+time = cost of regenerating the figure), prints the figure's table, and
+asserts the qualitative shape the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import ExperimentParams
+
+
+@pytest.fixture(scope="session")
+def params() -> ExperimentParams:
+    """The standard scaled-down experiment sizes (see calibration.py)."""
+    return ExperimentParams()
+
+
+def run_figure(benchmark, run_fn, capsys=None):
+    """Execute one experiment under the benchmark and print its table.
+
+    The table is the deliverable (it mirrors the paper's figure), so it
+    must reach the terminal even though pytest captures stdout of
+    passing tests — pass the test's ``capsys`` to print uncaptured.
+    """
+    result = benchmark.pedantic(run_fn, rounds=1, iterations=1)
+    if capsys is not None:
+        with capsys.disabled():
+            print()
+            print(result.format_table())
+    else:
+        print()
+        print(result.format_table())
+    return result

@@ -1,0 +1,22 @@
+"""Figure 8 bench: write throughput vs update key-range width."""
+
+from repro.experiments import fig8_update_skew
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig8_update_skew(benchmark, params, capsys):
+    result = run_figure(benchmark,
+                        lambda: fig8_update_skew.run(params), capsys=capsys)
+    widths = result.column("range_width")
+    throughput = result.column("throughput")
+    hops = result.column("avg_chain_hops")
+
+    widest = throughput[widths.index(max(widths))]
+    narrowest = throughput[widths.index(min(widths))]
+    # Paper: throughput decreases significantly as the range narrows.
+    assert narrowest < 0.35 * widest, (
+        f"no skew collapse: width=1 at {narrowest:.0f} vs "
+        f"width={max(widths)} at {widest:.0f}")
+    # Mechanism check: stale-row chains grow as updates concentrate.
+    assert hops[widths.index(min(widths))] > hops[widths.index(max(widths))]

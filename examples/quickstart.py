@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a table, a materialized view, and secondary-key access.
+
+Builds a 4-node eventually consistent record store, defines a
+materialized view over a customer table keyed by city, and shows the
+three access paths the paper compares: primary key (fast), native
+secondary index (slow scatter-gather), and materialized view (fast,
+possibly slightly stale).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig, ViewDefinition
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(seed=42))
+    cluster.create_table("CUSTOMER")
+
+    # A native secondary index (the paper's SI baseline) ...
+    cluster.create_index("CUSTOMER", "city")
+    # ... and a materialized view keyed by the same column (MV), with the
+    # customer's name mirrored into the view so city queries can be
+    # answered from the view alone.
+    cluster.create_view(ViewDefinition(
+        name="CUSTOMER_BY_CITY",
+        base_table="CUSTOMER",
+        view_key_column="city",
+        materialized_columns=("name",),
+    ))
+
+    client = cluster.sync_client()
+    customers = [
+        (101, "Ada Lovelace", "London"),
+        (102, "Alan Turing", "London"),
+        (103, "Grace Hopper", "New York"),
+        (104, "Kurt Goedel", "Vienna"),
+    ]
+    for customer_id, name, city in customers:
+        client.put("CUSTOMER", customer_id, {"name": name, "city": city})
+
+    # View maintenance is asynchronous; drain it before reading.
+    client.settle()
+
+    print("== Primary-key access (BT) ==")
+    result = client.get("CUSTOMER", 101, ["name", "city"])
+    print(f"  customer 101 -> name={result['name'][0]!r} "
+          f"city={result['city'][0]!r}")
+
+    print("== Native secondary index (SI): broadcast to every node ==")
+    matches = client.get_by_index("CUSTOMER", "city", "London", ["name"])
+    for key in sorted(matches):
+        print(f"  {key}: {matches[key]['name'][0]}")
+
+    print("== Materialized view (MV): one partition, by view key ==")
+    for row in client.get_view("CUSTOMER_BY_CITY", "London", ["B", "name"]):
+        print(f"  base key {row['B']}: {row['name']}")
+
+    print("== Updates propagate to the view automatically ==")
+    client.put("CUSTOMER", 103, {"city": "London"})
+    client.settle()
+    rows = client.get_view("CUSTOMER_BY_CITY", "London", ["B", "name"])
+    print(f"  London now has {len(rows)} customers: "
+          f"{sorted(row['name'] for row in rows)}")
+    assert len(rows) == 3
+
+    print("== Deleting the view key removes the row from the view ==")
+    client.put("CUSTOMER", 102, {"city": None})
+    client.settle()
+    rows = client.get_view("CUSTOMER_BY_CITY", "London", ["B", "name"])
+    print(f"  London now has {len(rows)} customers: "
+          f"{sorted(row['name'] for row in rows)}")
+    assert len(rows) == 2
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

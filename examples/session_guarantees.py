@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Session guarantees: read-your-own-propagations (paper Section V).
+
+View maintenance is asynchronous, so a client that updates a base table
+and immediately reads a view may not see its own update.  This example
+measures that staleness window, then turns on a session and shows the
+view Get blocking exactly until the client's own propagation completes.
+
+Run:  python examples/session_guarantees.py
+"""
+
+from repro import Cluster, ClusterConfig, ViewDefinition
+from repro.sim.latency import Fixed
+
+PROPAGATION_DELAY = 25.0  # ms: exaggerated so the effect is visible
+
+
+def build_cluster() -> Cluster:
+    cluster = Cluster(ClusterConfig(
+        seed=3,
+        propagation_delay=Fixed(PROPAGATION_DELAY),
+    ))
+    cluster.create_table("PROFILE")
+    cluster.create_view(ViewDefinition(
+        "PROFILE_BY_EMAIL", "PROFILE", "email", ("display_name",)))
+    return cluster
+
+
+def without_session() -> None:
+    print(f"== Without a session (propagation takes "
+          f"{PROPAGATION_DELAY:.0f} ms) ==")
+    cluster = build_cluster()
+    client = cluster.client()
+    env = cluster.env
+    outcome = {}
+
+    def scenario():
+        yield from client.put("PROFILE", "u1", {
+            "email": "ada@example.com", "display_name": "Ada"}, 1)
+        rows = yield from client.get_view(
+            "PROFILE_BY_EMAIL", "ada@example.com", ["display_name"], 1)
+        outcome["immediately"] = len(rows)
+        yield env.timeout(2 * PROPAGATION_DELAY)
+        rows = yield from client.get_view(
+            "PROFILE_BY_EMAIL", "ada@example.com", ["display_name"], 1)
+        outcome["later"] = len(rows)
+
+    env.run(until=env.process(scenario()))
+    cluster.run_until_idle()
+    print(f"  rows visible immediately after Put: {outcome['immediately']}"
+          f"  (stale view!)")
+    print(f"  rows visible {2 * PROPAGATION_DELAY:.0f} ms later:       "
+          f"{outcome['later']}")
+    assert outcome["immediately"] == 0 and outcome["later"] == 1
+
+
+def with_session() -> None:
+    print("== With a session (Definition 4) ==")
+    cluster = build_cluster()
+    client = cluster.client()
+    env = cluster.env
+    outcome = {}
+
+    def scenario():
+        client.begin_session()
+        start = env.now
+        yield from client.put("PROFILE", "u1", {
+            "email": "ada@example.com", "display_name": "Ada"}, 1)
+        rows = yield from client.get_view(
+            "PROFILE_BY_EMAIL", "ada@example.com", ["display_name"], 1)
+        outcome["rows"] = rows
+        outcome["elapsed"] = env.now - start
+        client.end_session()
+
+    env.run(until=env.process(scenario()))
+    cluster.run_until_idle()
+    print(f"  the view Get blocked until the propagation finished: "
+          f"pair took {outcome['elapsed']:.1f} ms "
+          f"(>= {PROPAGATION_DELAY:.0f} ms propagation)")
+    print(f"  and returned the client's own write: "
+          f"{outcome['rows'][0]['display_name']!r}")
+    assert outcome["elapsed"] >= PROPAGATION_DELAY
+    assert [r["display_name"] for r in outcome["rows"]] == ["Ada"]
+
+
+def main() -> None:
+    without_session()
+    print()
+    with_session()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

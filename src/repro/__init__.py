@@ -1,0 +1,78 @@
+"""Materialized views for eventually consistent record stores.
+
+A full reproduction of Jin, Liu & Salem (ICDE-DMC 2013): a simulated
+multi-master replicated keyed-record store (Cassandra-class), native
+secondary indexes, and the paper's decentralized asynchronous
+materialized-view maintenance with versioned views and session
+guarantees.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, ViewDefinition
+
+    cluster = Cluster(ClusterConfig())
+    cluster.create_table("TICKET")
+    cluster.create_view(ViewDefinition(
+        "ASSIGNEDTO", "TICKET", "AssignedTo", ("Status",)))
+
+    client = cluster.sync_client()
+    client.put("TICKET", 1, {"AssignedTo": "rliu", "Status": "open"})
+    client.settle()          # drain asynchronous view maintenance
+    rows = client.get_view("ASSIGNEDTO", "rliu", ["B", "Status"])
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for
+the reproduction of the paper's evaluation figures.
+"""
+
+from repro.cluster import (
+    ClientHandle,
+    Cluster,
+    ClusterConfig,
+    ServiceTimes,
+    SyncClient,
+)
+from repro.errors import (
+    ClusterError,
+    NodeDownError,
+    PropagationError,
+    QuorumError,
+    ReproError,
+    SessionError,
+    UnavailableError,
+    ViewDefinitionError,
+    ViewError,
+    ViewNotUpdatableError,
+)
+from repro.views import (
+    BaseUpdate,
+    ReferenceViewModel,
+    ViewDefinition,
+    ViewResult,
+    check_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ServiceTimes",
+    "ClientHandle",
+    "SyncClient",
+    "ViewDefinition",
+    "ViewResult",
+    "BaseUpdate",
+    "ReferenceViewModel",
+    "check_view",
+    "ReproError",
+    "ClusterError",
+    "QuorumError",
+    "UnavailableError",
+    "NodeDownError",
+    "ViewError",
+    "ViewDefinitionError",
+    "ViewNotUpdatableError",
+    "PropagationError",
+    "SessionError",
+    "__version__",
+]

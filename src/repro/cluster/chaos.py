@@ -1,0 +1,78 @@
+"""Chaos injection: random node failures during a running workload.
+
+A :class:`ChaosMonkey` repeatedly takes a random node down for a random
+interval and brings it back, never exceeding ``max_down`` simultaneous
+failures.  With ``max_down=1`` on the paper's 4-node / N=3 topology, a
+majority of every replica set stays reachable, so quorum operations and
+view maintenance must keep working throughout — the chaos tests assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.sim.latency import LatencyModel, Uniform
+
+__all__ = ["ChaosMonkey"]
+
+
+class ChaosMonkey:
+    """Randomly fails and recovers nodes until stopped."""
+
+    def __init__(self, cluster, rng: Optional[random.Random] = None,
+                 pause: Optional[LatencyModel] = None,
+                 downtime: Optional[LatencyModel] = None,
+                 max_down: int = 1):
+        if max_down < 1 or max_down >= cluster.config.nodes:
+            raise ValueError(
+                "max_down must be >= 1 and leave at least one node up")
+        self.cluster = cluster
+        self.rng = rng or cluster.streams.stream("chaos")
+        self.pause = pause or Uniform(20.0, 60.0)
+        self.downtime = downtime or Uniform(10.0, 40.0)
+        self.max_down = max_down
+        self.kills = 0
+        self.recoveries = 0
+        self._stopped = False
+        self._down: List[int] = []
+        self._process = cluster.env.process(self._loop(), name="chaos-monkey")
+
+    def stop(self) -> None:
+        """Stop injecting failures; currently-down nodes are recovered."""
+        self._stopped = True
+
+    @property
+    def down_nodes(self) -> List[int]:
+        """Node ids currently failed by this monkey."""
+        return list(self._down)
+
+    def _loop(self):
+        env = self.cluster.env
+        while not self._stopped:
+            yield env.timeout(self.pause.sample(self.rng))
+            if self._stopped:
+                break
+            if len(self._down) < self.max_down:
+                candidates = [node.node_id for node in self.cluster.nodes
+                              if not node.is_down]
+                if len(candidates) > 1:
+                    victim = self.rng.choice(candidates)
+                    self.cluster.fail_node(victim)
+                    self._down.append(victim)
+                    self.kills += 1
+                    env.process(self._revive(victim), name="chaos-revive")
+        # On stop: heal everything we broke.
+        for node_id in list(self._down):
+            self._revive_now(node_id)
+
+    def _revive(self, node_id: int):
+        yield self.cluster.env.timeout(self.downtime.sample(self.rng))
+        self._revive_now(node_id)
+
+    def _revive_now(self, node_id: int) -> None:
+        if node_id in self._down:
+            self._down.remove(node_id)
+            self.cluster.recover_node(node_id)
+            self.recoveries += 1

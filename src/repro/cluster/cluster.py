@@ -1,0 +1,225 @@
+"""The cluster façade: builds nodes, ring, network; entry point for clients.
+
+A :class:`Cluster` wires together the simulation environment, the token
+ring, the storage nodes, the network, and the eventual-delivery services.
+Applications obtain :class:`ClientHandle`s (see ``repro.cluster.client``)
+to issue Get/Put operations, or a :class:`SyncClient` for
+non-simulation-aware code such as the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.cluster.antientropy import AntiEntropyService, repair_row, repair_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.hints import HintService
+from repro.cluster.network import Network
+from repro.cluster.node import StorageNode
+from repro.common.hashing import TokenRing
+from repro.common.records import ColumnName
+from repro.errors import ClusterError
+from repro.index import IndexSchema
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated multi-master, eventually consistent record store."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config or ClusterConfig()
+        self.env = env or Environment()
+        self.streams = RandomStreams(self.config.seed)
+        self.network = Network(
+            self.env,
+            client_link=self.config.client_link,
+            replica_link=self.config.replica_link,
+            rng=self.streams.stream("network"),
+            message_loss=self.config.message_loss,
+        )
+        self.index_schema = IndexSchema()
+        self.nodes: List[StorageNode] = [
+            StorageNode(self.env, node_id, self.config, self.index_schema)
+            for node_id in range(self.config.nodes)
+        ]
+        self.ring = TokenRing(
+            [node.node_id for node in self.nodes],
+            virtual_nodes=self.config.virtual_nodes,
+        )
+        self.hints = HintService(self, self.config.hint_replay_interval)
+        self._coordinators = [Coordinator(node, self) for node in self.nodes]
+        self._next_client_id = 0
+        self._next_coordinator = 0
+        # Installed lazily by create_view() (keeps cluster importable
+        # without the views package and avoids an import cycle).
+        self.view_manager = None
+        # Opt-in structured tracing (see enable_tracing()).
+        self.tracer = None
+
+    # -- topology ------------------------------------------------------------
+
+    def node(self, node_id: int) -> StorageNode:
+        """The node with the given id."""
+        try:
+            return self.nodes[node_id]
+        except IndexError:
+            raise ClusterError(f"no node {node_id}") from None
+
+    def coordinator(self, node_id: int) -> Coordinator:
+        """The coordinator role of node ``node_id``."""
+        self.node(node_id)
+        return self._coordinators[node_id]
+
+    def replicas_for(self, table: str, key: Hashable) -> List[StorageNode]:
+        """The N replica nodes holding ``table[key]``.
+
+        Placement depends only on the key (paper Section II); the table
+        name parameterizes the salt so base tables and views spread
+        independently.
+        """
+        ids = self.ring.preference_list((table, key),
+                                        self.config.replication_factor)
+        return [self.nodes[node_id] for node_id in ids]
+
+    # -- schema ----------------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        """Create ``name`` on every node."""
+        for node in self.nodes:
+            node.create_table(name)
+
+    def has_table(self, name: str) -> bool:
+        """True if ``name`` exists (checked on node 0)."""
+        return self.nodes[0].engine.has_table(name)
+
+    def create_index(self, table: str, column: ColumnName) -> None:
+        """Declare a native secondary index on ``table.column``.
+
+        Every node builds a local fragment over its locally stored rows;
+        maintenance from then on is synchronous with local writes.
+        """
+        if not self.has_table(table):
+            raise ClusterError(f"cannot index unknown table {table!r}")
+        self.index_schema.add(table, column)
+        for node in self.nodes:
+            node.register_index(table, column)
+
+    def create_view(self, definition) -> None:
+        """Register a materialized view (see :mod:`repro.views`).
+
+        Creates the view's backing table and installs the
+        :class:`~repro.views.manager.ViewManager` on first use.
+        """
+        from repro.views.manager import ViewManager  # late: avoids cycle
+
+        if self.view_manager is None:
+            self.view_manager = ViewManager(self)
+        self.view_manager.register(definition)
+
+    def create_join_view(self, definition) -> None:
+        """Register an equi-join view (see :mod:`repro.views.joins`)."""
+        from repro.views.manager import ViewManager  # late: avoids cycle
+
+        if self.view_manager is None:
+            self.view_manager = ViewManager(self)
+        self.view_manager.register_join(definition)
+
+    # -- clients ------------------------------------------------------------------
+
+    def client(self, coordinator_id: Optional[int] = None):
+        """A new :class:`ClientHandle` (round-robin coordinator by default)."""
+        from repro.cluster.client import ClientHandle  # late: avoids cycle
+
+        if coordinator_id is None:
+            coordinator_id = self._next_coordinator % len(self.nodes)
+            self._next_coordinator += 1
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        return ClientHandle(self, client_id, coordinator_id)
+
+    def sync_client(self, coordinator_id: Optional[int] = None):
+        """A blocking façade over :meth:`client` for non-simulation code."""
+        from repro.cluster.client import SyncClient  # late: avoids cycle
+
+        return SyncClient(self.client(coordinator_id))
+
+    # -- failure injection -----------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take ``node_id`` offline."""
+        self.node(node_id).mark_down()
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring ``node_id`` back online and wake hint replay."""
+        self.node(node_id).mark_up()
+        self.hints.notify_recovery()
+
+    def partition(self, a: int, b: int) -> None:
+        """Block traffic between nodes ``a`` and ``b``."""
+        self.network.partition(a, b)
+
+    def heal_partition(self, a: int, b: int) -> None:
+        """Unblock traffic between nodes ``a`` and ``b``."""
+        self.network.heal(a, b)
+
+    # -- repair -------------------------------------------------------------------------
+
+    def repair_row(self, table: str, key: Hashable):
+        """Anti-entropy over one row; returns the process."""
+        return self.env.process(repair_row(self, table, key))
+
+    def repair_table(self, table: str):
+        """Anti-entropy over a whole table; returns the process."""
+        return self.env.process(repair_table(self, table))
+
+    def merkle_repair_table(self, table: str, depth: int = 6):
+        """Merkle-tree anti-entropy over a table; returns the process.
+
+        Exchanges hash trees per replica pair and transfers only rows in
+        divergent buckets — far cheaper than :meth:`repair_table` when
+        replicas mostly agree (see :mod:`repro.cluster.merkle`).
+        """
+        from repro.cluster.merkle import merkle_repair
+
+        return self.env.process(merkle_repair(self, table, depth))
+
+    def start_anti_entropy(self, tables, interval: float) -> AntiEntropyService:
+        """Start periodic background repair of ``tables``."""
+        return AntiEntropyService(self, tables, interval)
+
+    # -- tracing ----------------------------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 10_000):
+        """Install (or return the existing) structured tracer."""
+        from repro.cluster.tracing import Tracer
+
+        if self.tracer is None:
+            self.tracer = Tracer(self.env, capacity=capacity)
+        return self.tracer
+
+    def trace(self, category: str, message: str, **fields) -> None:
+        """Emit a trace event if tracing is enabled (cheap no-op otherwise)."""
+        if self.tracer is not None:
+            self.tracer.emit(category, message, **fields)
+
+    # -- running ---------------------------------------------------------------------------
+
+    def run(self, until=None):
+        """Advance the simulation (delegates to the environment)."""
+        return self.env.run(until=until)
+
+    def run_until_idle(self) -> None:
+        """Run until no events remain (in-flight work fully drains).
+
+        Only meaningful when no perpetual background service is running
+        (periodic anti-entropy, a ``StaleRowCollector``, a
+        ``ChaosMonkey``): those reschedule themselves forever, so the
+        event queue never empties — use ``run(until=...)`` around them,
+        or stop the service first.
+        """
+        self.env.run()

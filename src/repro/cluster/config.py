@@ -1,0 +1,154 @@
+"""Cluster configuration: topology, service times, and network models.
+
+All durations are milliseconds of simulated time.  The defaults are
+calibrated so a 4-node cluster behaves like the paper's testbed class
+(dual-core servers on a 1 Gb LAN): sub-millisecond single-record
+operations, and saturation around the throughput the paper reports.
+``repro.experiments.calibration`` documents the parameters used for each
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.latency import LatencyModel, ShiftedExponential
+
+__all__ = ["ServiceTimes", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceTimes:
+    """Per-operation CPU service times charged to a node's cores (ms).
+
+    ``read``/``write`` are the local storage-engine costs paid by each
+    replica; ``index_scan`` is one node's share of a scatter-gather
+    secondary-index lookup; ``index_update`` is the extra cost a replica
+    pays to keep its local index fragment synchronous with a write;
+    ``coordinator`` is the request-handling overhead at the coordinating
+    node (parsing, routing, merging responses); ``per_cell`` scales costs
+    with the number of cells touched; ``write_background`` is deferred
+    per-replica write work (commit-log flushing, memtable/compaction
+    overhead) that happens off the acknowledgement path but still
+    consumes CPU capacity — it is what makes write throughput saturate
+    without inflating single-request write latency.
+    """
+
+    read: float = 0.30
+    write: float = 0.025
+    index_scan: float = 1.90
+    index_update: float = 0.03
+    coordinator: float = 0.08
+    per_cell: float = 0.008
+    write_background: float = 0.15
+
+    def __post_init__(self):
+        for name in ("read", "write", "index_scan", "index_update",
+                     "coordinator", "per_cell", "write_background"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def read_cost(self, cells: int) -> float:
+        """CPU time for a local read touching ``cells`` cells."""
+        return self.read + self.per_cell * cells
+
+    def write_cost(self, cells: int) -> float:
+        """CPU time for a local write touching ``cells`` cells."""
+        return self.write + self.per_cell * cells
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build a simulated cluster.
+
+    Defaults mirror the paper's testbed: 4 nodes, dual-core CPUs,
+    replication factor 3, 1 Gb LAN latencies.
+    """
+
+    nodes: int = 4
+    replication_factor: int = 3
+    cores_per_node: int = 2
+    service: ServiceTimes = field(default_factory=ServiceTimes)
+
+    # One-way network delays.  Client machines sit one switch away from the
+    # cluster; inter-node links are the same class.
+    client_link: LatencyModel = field(
+        default_factory=lambda: ShiftedExponential(base=0.045, jitter_mean=0.02))
+    replica_link: LatencyModel = field(
+        default_factory=lambda: ShiftedExponential(base=0.06, jitter_mean=0.02))
+
+    # Coordinator RPC timeout: a quorum operation fails if fewer than the
+    # required responses arrive within this budget.
+    rpc_timeout: float = 200.0
+
+    # Probability that any single message is silently lost in transit.
+    message_loss: float = 0.0
+
+    # Virtual nodes per physical node on the token ring.
+    virtual_nodes: int = 16
+
+    # Eventual-delivery mechanisms ("mechanisms (not described here) that
+    # ensure that all updates to a cell eventually reach every replica").
+    # Read repair: when a quorum read observes divergent replicas, push the
+    # merged winners back to the stale replicas asynchronously.
+    read_repair: bool = True
+    # Hinted handoff: writes aimed at a down replica are parked as hints on
+    # the coordinator and replayed when the replica returns.
+    hinted_handoff: bool = True
+    hint_replay_interval: float = 20.0
+
+    # View maintenance knobs (consumed by repro.views).
+    # Maximum asynchronous propagations a coordinator may have in flight;
+    # base-table Puts block once the backlog is full (models the finite
+    # maintenance thread pool of the prototype).
+    max_pending_propagations: int = 32
+    # Extra scheduling delay before an asynchronous propagation begins
+    # (models queueing behind other maintenance work; heavy-tailed).
+    propagation_delay: LatencyModel = field(
+        default_factory=lambda: ShiftedExponential(base=0.05, jitter_mean=0.05))
+    # Combine the view-key Get with the base Put in a single replica round
+    # trip (the optimization the paper describes but its prototype omits).
+    combined_get_then_put: bool = False
+    # Concurrency control for update propagation: "locks" (per-base-row
+    # lock service), "propagators" (dedicated propagators via consistent
+    # hashing), or "none" (unsafe under concurrent view-key updates).
+    propagation_concurrency: str = "locks"
+    # One round trip to the lock service per acquire/release (ms).
+    lock_service_latency: float = 0.05
+    # Backoff between rounds of view-key-guess retries in Algorithm 1, and
+    # the cap on retry rounds before the propagation is abandoned loudly.
+    propagation_retry_backoff: float = 0.5
+    propagation_max_rounds: int = 200
+
+    # Root seed for all RNG streams.
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 1 <= self.replication_factor <= self.nodes:
+            raise ValueError(
+                f"replication_factor must be in [1, {self.nodes}], "
+                f"got {self.replication_factor}")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if self.max_pending_propagations < 1:
+            raise ValueError("max_pending_propagations must be >= 1")
+        if self.propagation_concurrency not in ("locks", "propagators", "none"):
+            raise ValueError(
+                "propagation_concurrency must be 'locks', 'propagators', "
+                f"or 'none', got {self.propagation_concurrency!r}")
+        if self.lock_service_latency < 0:
+            raise ValueError("lock_service_latency must be non-negative")
+        if self.propagation_retry_backoff < 0:
+            raise ValueError("propagation_retry_backoff must be non-negative")
+        if self.propagation_max_rounds < 1:
+            raise ValueError("propagation_max_rounds must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "ClusterConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,95 @@
+"""Hinted handoff: parked writes for down replicas.
+
+When a coordinator cannot reach a replica during a Put, it parks the write
+as a *hint*.  A background replay loop (started on demand, so an idle
+cluster has an empty event queue) retries hints whose target has come back
+up.  Together with read repair and anti-entropy this provides the paper's
+"mechanisms ... that ensure that all updates to a cell eventually reach
+every replica ... despite failures" (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.cluster.messages import WriteAck, WriteRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["Hint", "HintService"]
+
+
+@dataclass
+class Hint:
+    """A write that should eventually reach ``target_id``."""
+
+    holder_id: int
+    target_id: int
+    request: WriteRequest
+    delivered: bool = field(default=False)
+
+
+class HintService:
+    """Stores hints and replays them when targets recover."""
+
+    def __init__(self, cluster: "Cluster", replay_interval: float):
+        self.cluster = cluster
+        self.replay_interval = replay_interval
+        self._hints: List[Hint] = []
+        self._replay_running = False
+        self._recovery_wakeup = None
+        self.hints_replayed = 0
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def add(self, holder_id: int, target_id: int,
+            request: WriteRequest) -> None:
+        """Park ``request`` for later delivery to ``target_id``."""
+        self._hints.append(Hint(holder_id, target_id, request))
+        if not self._replay_running:
+            self._replay_running = True
+            self.cluster.env.process(self._replay_loop(), name="hint-replay")
+
+    def notify_recovery(self) -> None:
+        """Wake the replay loop after a node comes back up."""
+        wakeup = self._recovery_wakeup
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
+
+    def _deliverable(self) -> List[Hint]:
+        return [
+            hint for hint in self._hints
+            if not self.cluster.node(hint.target_id).is_down
+            and not self.cluster.node(hint.holder_id).is_down
+        ]
+
+    def _replay_loop(self):
+        env = self.cluster.env
+        while self._hints:
+            if not self._deliverable():
+                # Nothing can be delivered right now: park until some
+                # node recovers (keeps an otherwise-idle cluster idle).
+                self._recovery_wakeup = env.event()
+                yield self._recovery_wakeup
+                self._recovery_wakeup = None
+                continue
+            yield env.timeout(self.replay_interval)
+            yield from self._replay_once()
+        self._replay_running = False
+
+    def _replay_once(self):
+        """Attempt delivery of every hint whose endpoints are both up."""
+        deliverable = self._deliverable()
+        for hint in deliverable:
+            target = self.cluster.node(hint.target_id)
+            event = self.cluster.network.rpc(hint.holder_id, target,
+                                             hint.request)
+            timer = self.cluster.env.timeout(self.cluster.config.rpc_timeout)
+            outcome = yield self.cluster.env.any_of([event, timer])
+            if event in outcome and isinstance(outcome[event], WriteAck):
+                hint.delivered = True
+                self.hints_replayed += 1
+        self._hints = [hint for hint in self._hints if not hint.delivered]

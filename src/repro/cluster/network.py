@@ -1,0 +1,106 @@
+"""Simulated network: latency, loss, partitions, RPC plumbing.
+
+``Network.rpc`` delivers a request to a destination node after a sampled
+one-way delay, runs the node's dispatch handler (which charges the node's
+CPU), and completes the returned event after the response's return delay.
+If the destination is down, partitioned away, or the message is lost, the
+event simply never fires — exactly like a dropped packet; callers protect
+themselves with quorum timeouts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, FrozenSet, Set
+
+from repro.sim.kernel import Environment, Event
+from repro.sim.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.node import StorageNode
+
+__all__ = ["Network"]
+
+# Sentinel endpoint id for client machines (clients sit outside the ring).
+CLIENT = -1
+
+
+class Network:
+    """Message fabric connecting clients and storage nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_link: LatencyModel,
+        replica_link: LatencyModel,
+        rng: random.Random,
+        message_loss: float = 0.0,
+    ):
+        self.env = env
+        self.client_link = client_link
+        self.replica_link = replica_link
+        self._rng = rng
+        self.message_loss = message_loss
+        self._partitions: Set[FrozenSet[int]] = set()
+        # Counters for observability/tests.
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, a: int, b: int) -> None:
+        """Block all traffic between endpoints ``a`` and ``b``."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: int, b: int) -> None:
+        """Remove the partition between ``a`` and ``b`` if present."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """True if traffic between ``a`` and ``b`` is blocked."""
+        return frozenset((a, b)) in self._partitions
+
+    # -- delays ----------------------------------------------------------------
+
+    def one_way_delay(self, src_id: int, dst_id: int) -> float:
+        """Sample the one-way delay for a message between two endpoints."""
+        link = self.client_link if CLIENT in (src_id, dst_id) else self.replica_link
+        return link.sample(self._rng)
+
+    def _lost(self) -> bool:
+        return self.message_loss > 0 and self._rng.random() < self.message_loss
+
+    # -- RPC -------------------------------------------------------------------
+
+    def rpc(self, src_id: int, dst: "StorageNode", request: Any) -> Event:
+        """Send ``request`` to ``dst`` and return an event for the response.
+
+        The event fires with the handler's response.  It never fires when
+        the request or response is dropped (down node, partition, loss);
+        handler exceptions fail the event.
+        """
+        event = self.env.event()
+        self.env.process(self._rpc_process(src_id, dst, request, event))
+        return event
+
+    def _rpc_process(self, src_id: int, dst: "StorageNode", request: Any,
+                     event: Event):
+        self.messages_sent += 1
+        yield self.env.timeout(self.one_way_delay(src_id, dst.node_id))
+        if dst.is_down or self.is_partitioned(src_id, dst.node_id) or self._lost():
+            self.messages_dropped += 1
+            return
+        try:
+            response = yield self.env.process(dst.dispatch(request))
+        except Exception as exc:  # surface handler errors to the caller
+            event.fail(exc)
+            return
+        yield self.env.timeout(self.one_way_delay(dst.node_id, src_id))
+        if self.is_partitioned(src_id, dst.node_id) or self._lost():
+            self.messages_dropped += 1
+            return
+        event.succeed(response)

@@ -1,0 +1,197 @@
+"""A storage node: local engine + CPU + request handlers.
+
+Each node owns an in-memory :class:`LocalStorageEngine`, a CPU modelled as
+a :class:`Resource` with ``cores_per_node`` slots, and the local fragments
+of any native secondary indexes.  Handlers charge the CPU for a
+service-time interval and then perform the storage operation atomically
+(no yields between reading and writing local state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.messages import (
+    GetThenPutRequest,
+    GetThenPutResponse,
+    IndexScanRequest,
+    IndexScanResponse,
+    ReadRequest,
+    ReadResponse,
+    ReadRowRequest,
+    ReadRowResponse,
+    RepairReadRequest,
+    RepairReadResponse,
+    WriteAck,
+    WriteRequest,
+)
+from repro.cluster.storage import LocalStorageEngine
+from repro.common.records import Cell, ColumnName
+from repro.errors import ClusterError
+from repro.index import IndexSchema, LocalIndexFragment
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["StorageNode"]
+
+
+class StorageNode:
+    """One server of the multi-master cluster."""
+
+    def __init__(self, env: Environment, node_id: int, config: ClusterConfig,
+                 index_schema: IndexSchema):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.service = config.service
+        self.cpu = Resource(env, capacity=config.cores_per_node)
+        self.engine = LocalStorageEngine()
+        self.index_schema = index_schema
+        self._fragments: Dict[Tuple[str, ColumnName], LocalIndexFragment] = {}
+        self.is_down = False
+        # Observability counters.
+        self.requests_handled = 0
+        self.busy_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "down" if self.is_down else "up"
+        return f"<StorageNode {self.node_id} {state}>"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def mark_down(self) -> None:
+        """Take the node offline: it stops receiving messages."""
+        self.is_down = True
+
+    def mark_up(self) -> None:
+        """Bring the node back online (its stored state is retained)."""
+        self.is_down = False
+
+    # -- schema ------------------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        """Create the local shard of ``name``."""
+        self.engine.create_table(name)
+
+    def register_index(self, table: str, column: ColumnName) -> None:
+        """Create the local fragment for an index on ``table.column``.
+
+        Rebuilds from locally stored rows so indexes can be added to
+        populated tables.
+        """
+        fragment = LocalIndexFragment(table, column)
+        fragment.rebuild(
+            (key, self.engine.read(table, key, (column,))[column])
+            for key in self.engine.keys(table))
+        self._fragments[(table, column)] = fragment
+
+    def fragment(self, table: str, column: ColumnName) -> LocalIndexFragment:
+        """The local index fragment for ``table.column``."""
+        try:
+            return self._fragments[(table, column)]
+        except KeyError:
+            raise ClusterError(
+                f"no index fragment for {table}.{column} on node "
+                f"{self.node_id}") from None
+
+    # -- CPU accounting -------------------------------------------------------------
+
+    def _use_cpu(self, duration: float):
+        """Charge ``duration`` ms of CPU, queuing behind other work."""
+        self.busy_time += duration
+        yield from self.cpu.use(duration)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, request):
+        """Handle ``request``; a generator returning the response."""
+        self.requests_handled += 1
+        if isinstance(request, WriteRequest):
+            return self._handle_write(request)
+        if isinstance(request, ReadRequest):
+            return self._handle_read(request)
+        if isinstance(request, ReadRowRequest):
+            return self._handle_read_row(request)
+        if isinstance(request, GetThenPutRequest):
+            return self._handle_get_then_put(request)
+        if isinstance(request, IndexScanRequest):
+            return self._handle_index_scan(request)
+        if isinstance(request, RepairReadRequest):
+            return self._handle_repair_read(request)
+        raise ClusterError(f"unknown request type {type(request).__name__}")
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _index_maintenance_cost(self, table: str,
+                                cells: Dict[ColumnName, Cell]) -> float:
+        indexed = self.index_schema.columns_for(table)
+        if not indexed:
+            return 0.0
+        touched = sum(1 for column in cells if column in indexed)
+        return touched * self.service.index_update
+
+    def _apply_write(self, table: str, key: Hashable,
+                     cells: Dict[ColumnName, Cell]) -> bool:
+        """Apply a write and maintain local index fragments; atomic."""
+        changed = self.engine.apply(table, key, cells)
+        for column, (old, new) in changed.items():
+            fragment = self._fragments.get((table, column))
+            if fragment is not None:
+                fragment.on_cell_changed(key, old, new)
+        # Deferred write work (commit log, memtable churn): charged to
+        # this node's CPU asynchronously, off the acknowledgement path.
+        background = self.service.write_background
+        if background > 0:
+            self.env.process(self._use_cpu(background),
+                             name=f"write-bg:{self.node_id}")
+        return bool(changed)
+
+    def _handle_write(self, request: WriteRequest):
+        cost = (self.service.write_cost(len(request.cells))
+                + self._index_maintenance_cost(request.table, request.cells))
+        yield from self._use_cpu(cost)
+        applied = self._apply_write(request.table, request.key, request.cells)
+        return WriteAck(self.node_id, applied)
+
+    def _handle_read(self, request: ReadRequest):
+        yield from self._use_cpu(self.service.read_cost(len(request.columns)))
+        cells = self.engine.read(request.table, request.key, request.columns)
+        return ReadResponse(self.node_id, cells)
+
+    def _handle_read_row(self, request: ReadRowRequest):
+        cells = self.engine.read_row(request.table, request.key)
+        yield from self._use_cpu(self.service.read_cost(max(1, len(cells))))
+        # Re-read after the service delay so the response reflects the
+        # state at completion time (the delay models work, not staleness).
+        cells = self.engine.read_row(request.table, request.key)
+        return ReadRowResponse(self.node_id, cells)
+
+    def _handle_get_then_put(self, request: GetThenPutRequest):
+        cost = (self.service.read_cost(len(request.read_columns))
+                + self.service.write_cost(len(request.cells))
+                + self._index_maintenance_cost(request.table, request.cells))
+        yield from self._use_cpu(cost)
+        # Read-then-write with no intervening yield: atomic at this replica.
+        pre = self.engine.read(request.table, request.key, request.read_columns)
+        applied = self._apply_write(request.table, request.key, request.cells)
+        return GetThenPutResponse(self.node_id, pre, applied)
+
+    def _handle_index_scan(self, request: IndexScanRequest):
+        fragment = self.fragment(request.table, request.column)
+        matches = fragment.lookup(request.value)
+        cost = (self.service.index_scan
+                + self.service.per_cell * len(matches) * len(request.columns))
+        yield from self._use_cpu(cost)
+        # Snapshot after the delay; lookup again for current truth.
+        matches = fragment.lookup(request.value)
+        result: Dict[Hashable, Dict[ColumnName, Optional[Cell]]] = {}
+        for key in matches:
+            result[key] = self.engine.read(request.table, key, request.columns)
+        return IndexScanResponse(self.node_id, result)
+
+    def _handle_repair_read(self, request: RepairReadRequest):
+        cells = self.engine.read_row(request.table, request.key)
+        yield from self._use_cpu(self.service.read_cost(max(1, len(cells))))
+        cells = self.engine.read_row(request.table, request.key)
+        return RepairReadResponse(self.node_id, cells)

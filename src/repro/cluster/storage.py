@@ -1,0 +1,129 @@
+"""Per-node local storage engine.
+
+An in-memory keyed-record store: ``table -> key -> Row``.  Local operations
+are atomic (the paper, Section II: "The local Put and Get operations
+performed by each individual server are atomic") — in the simulation this
+holds because handlers only touch the engine between yields.
+
+The engine is deliberately unaware of replication, quorums, indexes and
+views; those live in the node/coordinator layers above it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.common.records import Cell, ColumnName, Row
+from repro.errors import NoSuchTableError, TableExistsError
+
+__all__ = ["LocalStorageEngine"]
+
+
+class LocalStorageEngine:
+    """One node's local tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, Dict[Hashable, Row]] = {}
+
+    # -- schema ------------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        """Create an empty table; raises if it already exists."""
+        if name in self._tables:
+            raise TableExistsError(name)
+        self._tables[name] = {}
+
+    def has_table(self, name: str) -> bool:
+        """True if ``name`` has been created locally."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """All locally created tables."""
+        return list(self._tables)
+
+    def _table(self, name: str) -> Dict[Hashable, Row]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTableError(name) from None
+
+    # -- writes ------------------------------------------------------------
+
+    def apply(
+        self, table: str, key: Hashable, cells: Dict[ColumnName, Cell]
+    ) -> Dict[ColumnName, Tuple[Cell, Cell]]:
+        """LWW-apply ``cells`` to the row; atomic.
+
+        Returns ``{column: (old_cell, new_cell)}`` for the columns that
+        actually changed, so callers (e.g. local index maintenance) can
+        react to the transition.  Columns whose incoming cell lost the LWW
+        race are omitted.
+        """
+        rows = self._table(table)
+        row = rows.get(key)
+        if row is None:
+            row = Row()
+            rows[key] = row
+        changed: Dict[ColumnName, Tuple[Cell, Cell]] = {}
+        for column, cell in cells.items():
+            old = row.get(column)
+            if row.apply(column, cell):
+                changed[column] = (old, cell)
+        return changed
+
+    # -- reads -------------------------------------------------------------
+
+    def read(
+        self, table: str, key: Hashable, columns: Tuple[ColumnName, ...]
+    ) -> Dict[ColumnName, Optional[Cell]]:
+        """The stored cells for ``columns`` (``None`` where never written).
+
+        Tombstoned cells are returned as-is (with their timestamps); the
+        coordinator needs them for correct LWW merging across replicas.
+        """
+        row = self._table(table).get(key)
+        if row is None:
+            return {column: None for column in columns}
+        return {
+            column: (row.get(column) if column in row else None)
+            for column in columns
+        }
+
+    def read_row(self, table: str, key: Hashable) -> Dict[ColumnName, Cell]:
+        """Every cell stored for the row (empty dict if the row is absent)."""
+        row = self._table(table).get(key)
+        if row is None:
+            return {}
+        return dict(row.items())
+
+    def keys(self, table: str) -> Iterator[Hashable]:
+        """Iterate over locally stored row keys of ``table``."""
+        return iter(self._table(table))
+
+    def row_count(self, table: str) -> int:
+        """Number of locally stored rows in ``table``."""
+        return len(self._table(table))
+
+    def cell_count(self, table: str) -> int:
+        """Total number of cells stored locally for ``table``."""
+        return sum(len(row) for row in self._table(table).values())
+
+    # -- maintenance ----------------------------------------------------------
+
+    def purge_tombstones(self, table: str, older_than: int) -> int:
+        """Physically drop old tombstoned cells (Cassandra gc_grace).
+
+        Removes tombstones with timestamp < ``older_than`` and any rows
+        left empty.  Returns the number of cells removed.  Callers must
+        ensure the tombstones have reached every replica first.
+        """
+        rows = self._table(table)
+        purged = 0
+        empty_keys = []
+        for key, row in rows.items():
+            purged += row.purge_tombstones(older_than)
+            if len(row) == 0:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del rows[key]
+        return purged

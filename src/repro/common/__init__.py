@@ -1,0 +1,40 @@
+"""Shared record-store primitives: cells, timestamps, rings, quorums."""
+
+from repro.common.hashing import TokenRing, hash_key
+from repro.common.quorum import (
+    ALL,
+    ONE,
+    QUORUM,
+    QuorumSpec,
+    majority,
+    resolve_quorum,
+    validate_quorum,
+)
+from repro.common.records import (
+    NULL_TIMESTAMP,
+    Cell,
+    ColumnName,
+    Row,
+    cell_wins,
+    merge_cells,
+)
+from repro.common.timestamps import TimestampOracle
+
+__all__ = [
+    "Cell",
+    "Row",
+    "ColumnName",
+    "cell_wins",
+    "merge_cells",
+    "NULL_TIMESTAMP",
+    "TimestampOracle",
+    "TokenRing",
+    "hash_key",
+    "majority",
+    "validate_quorum",
+    "resolve_quorum",
+    "QuorumSpec",
+    "ONE",
+    "QUORUM",
+    "ALL",
+]

@@ -1,0 +1,165 @@
+"""Record model: cells, tombstones, rows, and last-writer-wins merging.
+
+Follows the paper's Section II model: a table maps a key to a set of named
+cells; each cell holds a value and a timestamp.  Deletion writes a
+*tombstone* (a NULL value with the deleting Put's timestamp); readers
+observe tombstoned cells as NULL until a later-timestamped value arrives.
+
+Timestamps are application-supplied and totally order all updates to a cell.
+Concurrent Puts can carry equal timestamps; to keep replicas convergent,
+ties are broken deterministically: a non-tombstone beats a tombstone, and
+otherwise the larger serialized value wins (this mirrors Cassandra's
+tie-break rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, Tuple
+
+__all__ = [
+    "NULL_TIMESTAMP",
+    "Cell",
+    "Row",
+    "ColumnName",
+    "cell_wins",
+    "merge_cells",
+]
+
+# The paper: "A NULL timestamp is assumed to be smaller than all non-NULL
+# timestamps."  We represent it as -1; real timestamps are >= 0.
+NULL_TIMESTAMP = -1
+
+# Column names are either plain strings (base tables) or
+# ``(base_key, column)`` tuples (wide view rows); anything hashable works.
+ColumnName = Hashable
+
+
+def _value_rank(value: Any) -> Tuple[str, str]:
+    """A total order over heterogeneous cell values, for tie-breaking."""
+    return (type(value).__name__, repr(value))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """An immutable (value, timestamp) pair; ``tombstone`` marks deletion."""
+
+    value: Any
+    timestamp: int
+    tombstone: bool = False
+
+    def __post_init__(self):
+        if self.tombstone and self.value is not None:
+            raise ValueError("tombstone cells must carry a None value")
+
+    @property
+    def is_null(self) -> bool:
+        """True if a reader should observe this cell as NULL."""
+        return self.tombstone or self.value is None
+
+    @staticmethod
+    def null() -> "Cell":
+        """The cell returned when nothing was ever written."""
+        return Cell(None, NULL_TIMESTAMP)
+
+    @staticmethod
+    def make(value: Any, timestamp: int) -> "Cell":
+        """Build a live cell, or a tombstone if ``value`` is None."""
+        if value is None:
+            return Cell(None, timestamp, tombstone=True)
+        return Cell(value, timestamp)
+
+    def reads_as(self) -> Tuple[Any, int]:
+        """The (value, timestamp) a client observes for this cell."""
+        if self.tombstone:
+            return (None, self.timestamp)
+        return (self.value, self.timestamp)
+
+
+def cell_wins(challenger: Cell, incumbent: Optional[Cell]) -> bool:
+    """True if ``challenger`` supersedes ``incumbent`` under LWW rules.
+
+    Deterministic on all replicas: larger timestamp wins; on a timestamp
+    tie a live value beats a tombstone; on a live/live tie the larger
+    serialized value wins; equal cells do not replace each other.
+    """
+    if incumbent is None:
+        return True
+    if challenger.timestamp != incumbent.timestamp:
+        return challenger.timestamp > incumbent.timestamp
+    if challenger.tombstone != incumbent.tombstone:
+        return incumbent.tombstone
+    return _value_rank(challenger.value) > _value_rank(incumbent.value)
+
+
+def merge_cells(cells: Iterable[Optional[Cell]]) -> Cell:
+    """Merge replica responses for one cell: the LWW winner.
+
+    ``None`` entries (replica had nothing) are treated as never-written.
+    Returns :meth:`Cell.null` when no replica had a value.
+    """
+    winner: Optional[Cell] = None
+    for cell in cells:
+        if cell is None:
+            continue
+        if winner is None or cell_wins(cell, winner):
+            winner = cell
+    return winner if winner is not None else Cell.null()
+
+
+class Row:
+    """A mutable mapping of column name to :class:`Cell` with LWW apply."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Optional[Dict[ColumnName, Cell]] = None):
+        self._cells: Dict[ColumnName, Cell] = dict(cells) if cells else {}
+
+    def get(self, column: ColumnName) -> Cell:
+        """The cell for ``column`` (:meth:`Cell.null` if absent)."""
+        return self._cells.get(column, Cell.null())
+
+    def apply(self, column: ColumnName, cell: Cell) -> bool:
+        """LWW-apply ``cell``; returns True if the row changed."""
+        if cell_wins(cell, self._cells.get(column)):
+            self._cells[column] = cell
+            return True
+        return False
+
+    def columns(self) -> Iterator[ColumnName]:
+        """Iterate over column names present in the row."""
+        return iter(self._cells)
+
+    def items(self) -> Iterator[Tuple[ColumnName, Cell]]:
+        """Iterate over ``(column, cell)`` pairs."""
+        return iter(self._cells.items())
+
+    def live_columns(self) -> Iterator[ColumnName]:
+        """Columns whose cells are not NULL/tombstoned."""
+        return (c for c, cell in self._cells.items() if not cell.is_null)
+
+    def purge_tombstones(self, older_than: int) -> int:
+        """Drop tombstoned cells with timestamp < ``older_than``.
+
+        Returns the number of cells removed.  Mirrors Cassandra's
+        gc_grace purge: only safe once every replica has seen the
+        tombstone (otherwise repair would resurrect the old value).
+        """
+        doomed = [column for column, cell in self._cells.items()
+                  if cell.tombstone and cell.timestamp < older_than]
+        for column in doomed:
+            del self._cells[column]
+        return len(doomed)
+
+    def copy(self) -> "Row":
+        """A shallow copy (cells are immutable, so this is safe)."""
+        return Row(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, column: ColumnName) -> bool:
+        return column in self._cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Row({self._cells!r})"

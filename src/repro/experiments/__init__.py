@@ -1,0 +1,33 @@
+"""Experiment harness: one module per figure of the paper + ablations."""
+
+from repro.experiments import (
+    ablations,
+    crossover,
+    fig3_read_latency,
+    fig4_read_throughput,
+    fig5_write_latency,
+    fig6_write_throughput,
+    fig7_session_guarantees,
+    fig8_update_skew,
+)
+from repro.experiments.calibration import (
+    ExperimentParams,
+    experiment_config,
+    fig7_config,
+)
+from repro.experiments.results import FigureResult
+
+__all__ = [
+    "ExperimentParams",
+    "experiment_config",
+    "fig7_config",
+    "FigureResult",
+    "fig3_read_latency",
+    "fig4_read_throughput",
+    "fig5_write_latency",
+    "fig6_write_throughput",
+    "fig7_session_guarantees",
+    "fig8_update_skew",
+    "ablations",
+    "crossover",
+]

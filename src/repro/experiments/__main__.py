@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate the paper's evaluation tables.
+
+Usage::
+
+    python -m repro.experiments                 # every figure + ablations
+    python -m repro.experiments fig3 fig8       # a subset
+    python -m repro.experiments --quick fig7    # small/fast variant
+
+Each experiment prints the table corresponding to one figure of the
+paper (see EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentParams,
+    ablations,
+    crossover,
+    fig3_read_latency,
+    fig4_read_throughput,
+    fig5_write_latency,
+    fig6_write_throughput,
+    fig7_session_guarantees,
+    fig8_update_skew,
+)
+
+EXPERIMENTS = {
+    "fig3": lambda p: fig3_read_latency.run(p),
+    "fig4": lambda p: fig4_read_throughput.run(p),
+    "fig5": lambda p: fig5_write_latency.run(p),
+    "fig6": lambda p: fig6_write_throughput.run(p),
+    "fig7": lambda p: fig7_session_guarantees.run(p),
+    "fig8": lambda p: fig8_update_skew.run(p),
+    "abl1": lambda p: ablations.combined_get_then_put(p),
+    "abl2": lambda p: ablations.concurrency_mechanisms(p),
+    "abl3": lambda p: ablations.materialized_column_count(p),
+    "abl4": lambda p: ablations.quorum_settings(p),
+    "abl5": lambda p: ablations.stale_row_gc(p),
+    "abl6": lambda p: ablations.master_vs_decentralized(p),
+    "ext1": lambda p: crossover.run(p),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="which experiments to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use small/fast workload sizes")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed (default 0)")
+    args = parser.parse_args(argv)
+
+    params = ExperimentParams(seed=args.seed)
+    if args.quick:
+        params = params.quick()
+    selected = args.experiments or list(EXPERIMENTS)
+    for name in selected:
+        started = time.time()
+        result = EXPERIMENTS[name](params)
+        elapsed = time.time() - started
+        print(result.format_table())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Native secondary index baseline (per-node local fragments)."""
+
+from repro.index.secondary_index import IndexSchema, LocalIndexFragment
+
+__all__ = ["IndexSchema", "LocalIndexFragment"]

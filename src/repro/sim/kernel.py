@@ -1,0 +1,453 @@
+"""Discrete-event simulation kernel.
+
+This module provides a small, deterministic, generator-based discrete-event
+simulation framework in the style of SimPy, written from scratch for this
+reproduction.  All cluster machinery (nodes, coordinators, clients, view
+propagators) runs as :class:`Process` coroutines over a shared
+:class:`Environment`.
+
+Core concepts
+-------------
+
+``Environment``
+    Owns the virtual clock and the event heap.  ``env.run(until=...)``
+    executes scheduled events in timestamp order.
+
+``Event``
+    A one-shot occurrence.  Processes wait on events by ``yield``-ing them.
+    Events carry a value (or an exception) once triggered.
+
+``Process``
+    Wraps a generator.  Each ``yield`` suspends the process until the yielded
+    event fires; the event's value is returned from the ``yield`` expression
+    (or its exception is raised there).  A process is itself an event that
+    fires when the generator finishes, so processes can wait on each other.
+
+``Timeout``
+    An event that fires after a fixed virtual-time delay.
+
+``AllOf`` / ``AnyOf``
+    Condition events over several sub-events.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(FIFO), so a simulation with a fixed RNG seed is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import InterruptError, ProcessError, SimulationError, StopSimulation
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+]
+
+
+class _Pending:
+    """Sentinel for 'event has no value yet'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+# Scheduling priorities: URGENT events (process resumptions) run before
+# NORMAL events scheduled for the same instant.  This matches SimPy and keeps
+# causality intuitive.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot simulation event.
+
+    An event moves through three phases: *pending* (created), *triggered*
+    (given a value or exception and placed on the event heap), and
+    *processed* (its callbacks have run).  Waiting processes register
+    callbacks; the kernel invokes them when the event is popped off the heap.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        # True once a failure value was consumed by some waiter, so the
+        # kernel does not escalate an unhandled failure.
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiter that ``yield``s this event will have the exception raised
+        at the yield point.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    # -- callbacks ---------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env._schedule(self, URGENT, 0.0)
+
+
+class Interruption(Event):
+    """Internal event delivering an :class:`InterruptError` to a process."""
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        self._ok = False
+        self._value = InterruptError(cause)
+        self._defused = True
+        self.process = process
+        self.callbacks = [self._deliver]
+        self.env._schedule(self, URGENT, 0.0)
+
+    def _deliver(self, event: "Event") -> None:
+        process = self.process
+        if process.is_alive:
+            # Detach the process from whatever it was waiting on, then
+            # resume it with the interrupt exception.
+            target = process._target
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(process._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            process._target = None
+            process._resume(event)
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    The wrapped generator ``yield``s events; the process suspends until each
+    fires.  The process is itself an event that triggers when the generator
+    returns (success, with the return value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at its yield point."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has already terminated")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        Interruption(self, cause)
+
+    # -- kernel interface ---------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active = self
+        while True:
+            try:
+                if event._ok:
+                    result = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    result = self._generator.throw(type(exc), exc, None)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                self._target = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(result, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {result!r}")
+                event = Event(env)
+                event._ok = False
+                event._value = exc2
+                continue
+            if result.callbacks is not None:
+                # Event not yet processed: wait for it.
+                result.add_callback(self._resume)
+                self._target = result
+                break
+            # Event already processed: loop and resume immediately with it.
+            event = result
+
+        env._active = None
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+        # Empty condition triggers immediately.
+        if not self._events and not self.triggered:
+            self.succeed(self._result())
+
+    def _result(self) -> dict:
+        return {
+            event: event._value
+            for event in self._events
+            if event.callbacks is None and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._result())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every sub-event has triggered (fails fast on failure)."""
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one sub-event has triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling / running -------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _prio, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An event failed and nobody was waiting: escalate so errors
+            # never pass silently.
+            exc = event._value
+            raise ProcessError(
+                f"unhandled failure in {event!r}: {exc!r}") from exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until the clock reaches it), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                # Already finished: report its outcome without running.
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            stop_event.add_callback(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} is in the past (now={self._now})")
+        try:
+            while self._heap:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    break
+                self.step()
+        except StopSimulation as stop:
+            fired = stop.args[0]
+            if not fired._ok:
+                fired._defused = True
+                raise fired._value
+            return fired._value
+        if stop_event is not None:
+            raise SimulationError(
+                "run(until=event) finished but the event never triggered")
+        if stop_at is not None and self._now < stop_at:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)

@@ -1,0 +1,163 @@
+"""Shared-resource primitives for the simulation kernel.
+
+``Resource`` models a server with fixed capacity (e.g. the CPU cores of a
+storage node): processes ``yield resource.request()`` to acquire a slot,
+possibly queuing FIFO behind other requests, and call ``resource.release()``
+when done.  Queuing at resources is what produces realistic throughput
+saturation in the cluster experiments.
+
+``Store`` is an unbounded FIFO message queue: producers ``put`` items
+immediately, consumers ``yield store.get()`` and block until an item is
+available.  Nodes use stores as their network inboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Resource", "Store", "Semaphore"]
+
+
+class Resource:
+    """A FIFO-queued resource with fixed ``capacity`` slots.
+
+    Usage from a process::
+
+        yield resource.request()
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+
+    Note: do not interrupt a process while it is waiting on
+    ``request()`` — its queued grant would later fire unowned and leak a
+    slot.  (Nothing in this library interrupts resource waiters; the
+    caveat matters only for user code combining ``Process.interrupt``
+    with resources.)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is acquired."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: acquire a slot, hold it ``duration``, release.
+
+        Usage: ``yield from resource.use(service_time)``.
+        """
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+
+class Semaphore:
+    """A counting semaphore (capacity tokens, FIFO waiters).
+
+    Unlike :class:`Resource`, the initial token count may be zero and tokens
+    can be added beyond the initial count, which makes it suitable for
+    back-pressure bookkeeping (e.g. bounding outstanding view propagations).
+    """
+
+    def __init__(self, env: Environment, tokens: int = 0):
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        self.env = env
+        self._tokens = tokens
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def tokens(self) -> int:
+        """Currently available tokens."""
+        return self._tokens
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a token is consumed."""
+        event = self.env.event()
+        if self._tokens > 0:
+            self._tokens -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Add a token, waking the oldest waiter if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._tokens += 1
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[Any]:
+        """The oldest queued item without removing it, or ``None``."""
+        return self._items[0] if self._items else None

@@ -1,0 +1,79 @@
+"""Materialized views for eventually consistent record stores.
+
+The paper's contribution: view definitions, versioned view rows,
+decentralized asynchronous incremental maintenance (Algorithms 1-3),
+stale-row-filtering reads (Algorithm 4), concurrency control (locks or
+dedicated propagators), and session guarantees.
+"""
+
+from repro.views.definition import (
+    BASE_KEY_COLUMN,
+    INIT_COLUMN,
+    NEXT_COLUMN,
+    ViewDefinition,
+)
+from repro.views.gc import GCReport, StaleRowCollector, collect_stale_rows
+from repro.views.joins import JoinResult, JoinSide, JoinViewDefinition
+from repro.views.master import MasterBasedViews
+from repro.views.invariants import check_view, collect_entries, merged_view_state
+from repro.views.locks import LockService, ReadWriteLock
+from repro.views.maintenance import PropagationMetrics, ViewKeyGuess, ViewMaintainer
+from repro.views.manager import ViewManager
+from repro.views.model import (
+    BaseUpdate,
+    LogicalBaseTable,
+    ReferenceViewModel,
+    expected_view_rows,
+)
+from repro.views.propagators import PropagatorPool
+from repro.views.read import ViewResult, view_get
+from repro.views.session import Session, SessionManager
+from repro.views.stats import ViewStats, compute_stats
+from repro.views.versioned import (
+    NULL_VIEW_KEY,
+    VersionedEntry,
+    base_timestamp_of,
+    split_wide_row,
+    view_column,
+    view_timestamp,
+)
+
+__all__ = [
+    "ViewDefinition",
+    "BASE_KEY_COLUMN",
+    "NEXT_COLUMN",
+    "INIT_COLUMN",
+    "NULL_VIEW_KEY",
+    "ViewManager",
+    "ViewMaintainer",
+    "ViewKeyGuess",
+    "PropagationMetrics",
+    "ViewResult",
+    "view_get",
+    "LockService",
+    "ReadWriteLock",
+    "PropagatorPool",
+    "Session",
+    "SessionManager",
+    "BaseUpdate",
+    "LogicalBaseTable",
+    "ReferenceViewModel",
+    "expected_view_rows",
+    "VersionedEntry",
+    "split_wide_row",
+    "view_column",
+    "view_timestamp",
+    "base_timestamp_of",
+    "check_view",
+    "collect_entries",
+    "merged_view_state",
+    "GCReport",
+    "StaleRowCollector",
+    "collect_stale_rows",
+    "JoinSide",
+    "JoinViewDefinition",
+    "JoinResult",
+    "MasterBasedViews",
+    "ViewStats",
+    "compute_stats",
+]

@@ -1,0 +1,284 @@
+"""Incremental view maintenance: Algorithms 2 and 3 of the paper.
+
+:class:`ViewMaintainer` performs one update propagation against the
+distributed view table:
+
+- :meth:`get_live_key` is Algorithm 3 (``GetLiveKey``): walk the stale-row
+  pointer chain from a view-key guess to the live row, with majority
+  quorums, failing if the guess's row does not exist yet (its writing
+  update has not propagated).
+- :meth:`propagate_update` is Algorithm 2 (``PropagateUpdate``), extended
+  per the paper's remarks to handle multi-column Puts (view key plus
+  materialized columns propagated together) and view-key deletions
+  (handled through the NULL anchor, see :mod:`repro.views.versioned`).
+
+Every Get/Put inside propagation uses a majority quorum of the view's
+replicas, as Algorithm 2 prescribes.  New live rows are marked
+inaccessible (``Init`` cell) until fully initialized so concurrent view
+Gets never observe a half-copied row or two accessible live rows
+(Section IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.common.quorum import majority
+from repro.common.records import NULL_TIMESTAMP, Cell, ColumnName, cell_wins
+from repro.errors import PropagationError, ViewError
+from repro.views.definition import (
+    BASE_KEY_COLUMN,
+    INIT_COLUMN,
+    NEXT_COLUMN,
+    ViewDefinition,
+)
+from repro.views.versioned import (
+    NULL_VIEW_KEY,
+    PHASE_ROW,
+    PHASE_STALE,
+    base_timestamp_of,
+    view_column,
+    view_timestamp,
+)
+
+__all__ = ["ViewKeyGuess", "PropagationMetrics", "ViewMaintainer"]
+
+# Safety bound on chain walks: a cycle would indicate a maintenance bug,
+# so fail loudly rather than spin forever.
+_MAX_CHAIN_HOPS = 10_000
+
+
+@dataclass(frozen=True)
+class ViewKeyGuess:
+    """One view-key version collected from a base-row replica.
+
+    ``key`` is the *effective* chain anchor: real view keys map to
+    themselves, NULLs / tombstones / predicate-rejected values map to the
+    NULL anchor.  ``allow_virtual`` is True only for the never-written
+    NULL (the initial base state), whose chain may legitimately not exist
+    yet; a tombstone NULL was written by a deletion update, so its anchor
+    row must exist before propagation can proceed (same rule as any other
+    guess).
+    """
+
+    key: Any
+    timestamp: int
+    allow_virtual: bool = False
+
+    @staticmethod
+    def from_cell(definition: ViewDefinition,
+                  cell: Optional[Cell]) -> "ViewKeyGuess":
+        """Classify one replica's view-key cell into a guess."""
+        if cell is None or cell.timestamp == NULL_TIMESTAMP:
+            return ViewKeyGuess(NULL_VIEW_KEY, NULL_TIMESTAMP,
+                                allow_virtual=True)
+        if cell.is_null or not definition.accepts_key(cell.value):
+            return ViewKeyGuess(NULL_VIEW_KEY, cell.timestamp)
+        return ViewKeyGuess(cell.value, cell.timestamp)
+
+
+@dataclass
+class PropagationMetrics:
+    """Counters describing maintenance work (used by the skew analysis)."""
+
+    propagations_started: int = 0
+    propagations_succeeded: int = 0
+    guess_failures: int = 0
+    retry_rounds: int = 0
+    chain_hops: int = 0
+    rows_copied: int = 0
+
+    def hops_per_propagation(self) -> float:
+        """Average GetLiveKey hops per successful propagation."""
+        if self.propagations_succeeded == 0:
+            return 0.0
+        return self.chain_hops / self.propagations_succeeded
+
+
+class ViewMaintainer:
+    """Executes update propagations against a cluster's view tables."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.quorum = majority(cluster.config.replication_factor)
+        self.metrics = PropagationMetrics()
+
+    # -- low-level view I/O (majority quorums) ---------------------------------
+
+    def _view_get(self, coordinator, view_name: str, view_key: Any,
+                  columns: Tuple[ColumnName, ...]):
+        return (yield from coordinator.get(view_name, view_key, columns,
+                                           self.quorum))
+
+    def _view_put(self, coordinator, view_name: str, view_key: Any,
+                  cells: Dict[ColumnName, Cell]):
+        yield from coordinator.put(view_name, view_key, cells, self.quorum)
+
+    # -- Algorithm 3: GetLiveKey -------------------------------------------------
+
+    def get_live_key(self, coordinator, view: ViewDefinition,
+                     base_key: Hashable, guess: ViewKeyGuess):
+        """Walk Next pointers from ``guess`` to the live row.
+
+        Returns ``(live_key, live_base_ts)``.  Raises
+        :class:`PropagationError` when the guess's row does not exist
+        (the update that wrote that view key has not yet propagated).
+        The never-written NULL guess is allowed to find no anchor row: it
+        returns the virtual pristine anchor ``(NULL_VIEW_KEY, -1)``,
+        which is correct because the initial base state is propagated by
+        definition and first propagation is serialized per base row.
+        """
+        current = guess.key
+        next_column = view_column(base_key, NEXT_COLUMN)
+        hops = 0
+        while True:
+            hops += 1
+            if hops > _MAX_CHAIN_HOPS:
+                raise ViewError(
+                    f"view {view.name!r}: pointer chain for base key "
+                    f"{base_key!r} exceeded {_MAX_CHAIN_HOPS} hops "
+                    "(cycle suspected)")
+            merged = yield from self._view_get(
+                coordinator, view.name, current, (next_column,))
+            next_cell = merged[next_column]
+            if next_cell.is_null:
+                if hops == 1 and guess.allow_virtual:
+                    # Pristine chain: nothing has propagated for this
+                    # base row.  Anchor at the virtual NULL row.
+                    return NULL_VIEW_KEY, NULL_TIMESTAMP
+                self.metrics.guess_failures += 1
+                raise PropagationError(
+                    f"view key {current!r} not found in view {view.name!r} "
+                    f"for base key {base_key!r} (writing update not yet "
+                    "propagated)")
+            self.metrics.chain_hops += 1
+            if next_cell.value == current:
+                self.cluster.trace(
+                    "chain", "live row resolved", view=view.name,
+                    base_key=base_key, live=current, hops=hops)
+                return current, base_timestamp_of(next_cell.timestamp)
+            current = next_cell.value
+
+    # -- CopyData -------------------------------------------------------------------
+
+    def _copy_data(self, coordinator, view: ViewDefinition,
+                   base_key: Hashable, source_key: Any, target_key: Any):
+        """Copy materialized cells from the old live row to the new one.
+
+        Cells are copied verbatim (values *and* scaled timestamps), so a
+        concurrently propagating materialized-column update merges
+        correctly with the copy via ordinary LWW.
+        """
+        if not view.materialized_columns:
+            return
+        columns = tuple(view_column(base_key, column)
+                        for column in view.materialized_columns)
+        merged = yield from self._view_get(coordinator, view.name,
+                                           source_key, columns)
+        copied = {column: cell for column, cell in merged.items()
+                  if cell.timestamp != NULL_TIMESTAMP}
+        if copied:
+            self.metrics.rows_copied += 1
+            yield from self._view_put(coordinator, view.name, target_key,
+                                      copied)
+
+    # -- Algorithm 2: PropagateUpdate ---------------------------------------------------
+
+    def propagate_update(self, coordinator, view: ViewDefinition,
+                         base_key: Hashable, guess: ViewKeyGuess,
+                         update_values: Dict[ColumnName, Any],
+                         base_ts: int):
+        """Propagate one base update to the view (may raise
+        :class:`PropagationError` if the guess fails; the caller retries
+        with a different guess, per Algorithm 1).
+
+        ``update_values`` holds the Put's watched columns (view key
+        and/or materialized), with raw application values.
+        """
+        self.metrics.propagations_started += 1
+        # Line 1: find the live row from the guess.
+        live_key, live_ts = yield from self.get_live_key(
+            coordinator, view, base_key, guess)
+
+        target_key = live_key
+        if view.view_key_column in update_values:
+            target_key = yield from self._propagate_view_key(
+                coordinator, view, base_key,
+                update_values[view.view_key_column], base_ts,
+                live_key, live_ts)
+
+        materialized = {
+            view_column(base_key, column):
+                Cell.make(value, view_timestamp(base_ts, PHASE_ROW))
+            for column, value in update_values.items()
+            if view.is_materialized(column)
+        }
+        if materialized and target_key is not None:
+            # Line 12: write materialized cells to the (new) live row.
+            # Writing to the NULL anchor is deliberate: the values are
+            # picked up by CopyData if the row later re-enters the view.
+            yield from self._view_put(coordinator, view.name, target_key,
+                                      materialized)
+        self.metrics.propagations_succeeded += 1
+        return target_key
+
+    def _propagate_view_key(self, coordinator, view: ViewDefinition,
+                            base_key: Hashable, raw_value: Any, base_ts: int,
+                            live_key: Any, live_ts: int):
+        """The view-key-update branch of Algorithm 2 (lines 3-10).
+
+        Returns the view key that is live after this propagation.
+        """
+        new_key = raw_value if view.accepts_key(raw_value) else NULL_VIEW_KEY
+        base_col = view_column(base_key, BASE_KEY_COLUMN)
+        next_col = view_column(base_key, NEXT_COLUMN)
+        init_col = view_column(base_key, INIT_COLUMN)
+        row_ts = view_timestamp(base_ts, PHASE_ROW)
+        stale_ts = view_timestamp(base_ts, PHASE_STALE)
+
+        # Line 4: write the new row (live self-pointer), marked Init so
+        # concurrent readers do not observe it until initialized.
+        yield from self._view_put(coordinator, view.name, new_key, {
+            base_col: Cell(base_key, row_ts),
+            next_col: Cell(new_key, row_ts),
+            init_col: Cell(True, row_ts),
+        })
+
+        self.cluster.trace(
+            "propagate", "view-key update", view=view.name,
+            base_key=base_key, new_key=new_key, live_key=live_key,
+            ts=base_ts)
+        result = new_key
+        if new_key != live_key:
+            update_is_newer = cell_wins(
+                Cell.make(new_key, base_ts),
+                Cell.make(live_key, live_ts) if live_ts != NULL_TIMESTAMP
+                else None)
+            if update_is_newer:
+                # Line 7: copy view-materialized cells to the new row.
+                # This runs even when the old live row is the (possibly
+                # virtual) NULL anchor: materialized updates that
+                # propagated before any view-key update park their cells
+                # there, and the copy carries them into the view.
+                yield from self._copy_data(coordinator, view, base_key,
+                                           live_key, new_key)
+                # Line 8: make the old live row stale.  For a pristine
+                # chain this creates the NULL anchor row, giving later
+                # NULL guesses a path to the live row.
+                yield from self._view_put(coordinator, view.name, live_key, {
+                    next_col: Cell(new_key, stale_ts),
+                })
+            else:
+                # Line 10: the new row is stale, pointing at the live row.
+                yield from self._view_put(coordinator, view.name, new_key, {
+                    next_col: Cell(live_key, stale_ts),
+                })
+                result = live_key
+
+        # Unmark Init: the row (live or stale) is now fully initialized.
+        yield from self._view_put(coordinator, view.name, new_key, {
+            init_col: Cell.make(None, view_timestamp(base_ts, PHASE_STALE)),
+        })
+        return result

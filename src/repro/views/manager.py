@@ -1,0 +1,441 @@
+"""View manager: Algorithm 1 orchestration and the view read path.
+
+The manager owns the view registry and glues together everything a
+coordinator needs when a base-table Put touches view-relevant columns
+(paper Algorithm 1):
+
+1. read the current view-key versions from the base row's replicas (all
+   versions, not just the latest) — combined with the Put into one
+   replica round trip when ``combined_get_then_put`` is enabled;
+2. perform the base Put and acknowledge the client at W replicas;
+3. keep collecting view-key versions from the remaining replicas, then
+   asynchronously drive ``PropagateUpdate`` (Algorithm 2), retrying over
+   the collected guesses until one succeeds.
+
+Concurrency control per Section IV-F is pluggable: a per-base-row lock
+service (shared for materialized-column propagation, exclusive for
+view-key propagation) or dedicated per-row propagators.  Locks are
+released between retry rounds — holding them across a failed round would
+block the very propagation that must run before the retry can succeed.
+
+Coordinators bound their outstanding propagations
+(``max_pending_propagations``); base Puts block when the backlog is full,
+modelling the prototype's finite maintenance capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.common.records import Cell, ColumnName
+from repro.errors import (
+    NoSuchViewError,
+    PropagationError,
+    QuorumError,
+    SessionError,
+    ViewDefinitionError,
+    ViewExistsError,
+)
+from repro.sim.resources import Semaphore
+from repro.views import read as view_read
+from repro.views.definition import ViewDefinition
+from repro.views.locks import LockService
+from repro.views.maintenance import ViewKeyGuess, ViewMaintainer
+from repro.views.propagators import PropagatorPool
+from repro.views.session import SessionManager
+
+__all__ = ["ViewManager"]
+
+
+class ViewManager:
+    """Registry plus maintenance/read orchestration for one cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config
+        self.maintainer = ViewMaintainer(cluster)
+        self.sessions = SessionManager(cluster.env)
+        self.locks = LockService(cluster.env,
+                                 latency=self.config.lock_service_latency)
+        self.propagators = (PropagatorPool(cluster)
+                            if self.config.propagation_concurrency
+                            == "propagators" else None)
+        self._rng = cluster.streams.stream("view-propagation")
+        self._views: Dict[str, ViewDefinition] = {}
+        self._joins: Dict[str, "JoinViewDefinition"] = {}
+        self._by_table: Dict[str, List[ViewDefinition]] = {}
+        self._backpressure: Dict[int, Semaphore] = {}
+        # Observability.
+        self.pending_propagations = 0
+        self.completed_propagations = 0
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, definition: ViewDefinition) -> None:
+        """Register a view and create its backing table."""
+        if definition.name in self._views:
+            raise ViewExistsError(definition.name)
+        if definition.base_table in self._views:
+            raise ViewDefinitionError(
+                f"base table {definition.base_table!r} is itself a view; "
+                "views on views are not supported")
+        if not self.cluster.has_table(definition.base_table):
+            raise ViewDefinitionError(
+                f"base table {definition.base_table!r} does not exist")
+        if self.cluster.has_table(definition.name):
+            raise ViewDefinitionError(
+                f"a table named {definition.name!r} already exists")
+        self.cluster.create_table(definition.name)
+        self._views[definition.name] = definition
+        self._by_table.setdefault(definition.base_table, []).append(definition)
+
+    def view(self, name: str) -> ViewDefinition:
+        """Look up a registered view by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise NoSuchViewError(name) from None
+
+    def is_view(self, name: str) -> bool:
+        """True if ``name`` is a registered view."""
+        return name in self._views
+
+    def view_names(self) -> List[str]:
+        """All registered view names."""
+        return list(self._views)
+
+    def views_on(self, table: str) -> List[ViewDefinition]:
+        """The views defined on ``table``."""
+        return list(self._by_table.get(table, ()))
+
+    # -- equi-join views (Section III extension) ---------------------------------
+
+    def register_join(self, definition) -> None:
+        """Register an equi-join view (two projection child views)."""
+        if definition.name in self._joins or definition.name in self._views:
+            raise ViewExistsError(definition.name)
+        left, right = definition.child_definitions()
+        self.register(left)
+        self.register(right)
+        self._joins[definition.name] = definition
+
+    def join_view(self, name: str):
+        """Look up a registered join view by name."""
+        try:
+            return self._joins[name]
+        except KeyError:
+            raise NoSuchViewError(name) from None
+
+    def join_get(self, coordinator, join_name: str, join_key,
+                 left_columns: Tuple[ColumnName, ...],
+                 right_columns: Tuple[ColumnName, ...], r: int,
+                 session=None):
+        """Read matched pairs of a join view for one join-key value.
+
+        Two single-partition view Gets (both child views are keyed by
+        the join key) plus in-coordinator pairing — the PNUTS locality
+        property for remote view tables.
+        """
+        from repro.views.joins import pair_results
+
+        definition = self.join_view(join_name)
+        left_rows = yield from self.view_get(
+            coordinator, definition.left_view_name, join_key,
+            tuple(left_columns), r, session=session)
+        right_rows = yield from self.view_get(
+            coordinator, definition.right_view_name, join_key,
+            tuple(right_columns), r, session=session)
+        return pair_results(join_key, left_rows, right_rows)
+
+    def views_affected(self, table: str, cells: Dict[ColumnName, Any]) -> bool:
+        """True if a Put touching ``cells`` requires any propagation."""
+        return any(view.affects(cells) for view in self.views_on(table))
+
+    # -- Algorithm 1: base Put with update propagation ------------------------
+
+    def base_put(self, coordinator, table: str, key: Hashable,
+                 cells: Dict[ColumnName, Cell], w: int, session=None):
+        """Put with propagation; returns after W base-replica acks.
+
+        Propagation to each affected view continues asynchronously; with
+        ``session`` the completion events are registered for the
+        Section V guarantee.
+        """
+        affected = [view for view in self.views_on(table)
+                    if view.affects(cells)]
+        if not affected:
+            yield from coordinator.put(table, key, cells, w)
+            return
+
+        yield from coordinator.node._use_cpu(self.config.service.coordinator)
+        read_columns = tuple(dict.fromkeys(
+            view.view_key_column for view in affected))
+
+        if self.config.combined_get_then_put:
+            # Single round trip: each replica reads its pre-update view
+            # keys and applies the write atomically.
+            collector = coordinator.scatter_get_then_put(
+                table, key, cells, read_columns, w)
+            yield collector.wait(w)
+
+            def extract(response, column):
+                return response.pre_cells.get(column)
+        else:
+            # The prototype's two-step path (Alg. 1 lines 2-3): Get the
+            # current view keys, then Put.
+            collector = coordinator.scatter_read(table, key, read_columns, w)
+            yield collector.wait(w)
+            put_collector = coordinator.scatter_write(table, key, cells, w)
+            yield put_collector.wait(w)
+
+            def extract(response, column):
+                return response.cells.get(column)
+
+        base_ts = max(cell.timestamp for cell in cells.values())
+        self.cluster.trace("base_put", "acked; scheduling propagation",
+                           table=table, key=key, ts=base_ts,
+                           views=[view.name for view in affected])
+        backpressure = self._backpressure_for(coordinator.node.node_id)
+        for view in affected:
+            # Back-pressure: block the Put while the coordinator's
+            # propagation backlog is full.
+            yield backpressure.acquire()
+            completion = self.env.event()
+            if session is not None:
+                self.sessions.register(session, view.name, completion)
+            else:
+                # Nobody is obligated to consume the completion event.
+                completion._defused = True
+            self.env.process(
+                self._propagation_driver(coordinator, view, table, key,
+                                         cells, base_ts, collector, extract,
+                                         completion, backpressure),
+                name=f"propagate:{view.name}:{key!r}")
+
+    def _backpressure_for(self, coordinator_id: int) -> Semaphore:
+        semaphore = self._backpressure.get(coordinator_id)
+        if semaphore is None:
+            semaphore = Semaphore(self.env,
+                                  tokens=self.config.max_pending_propagations)
+            self._backpressure[coordinator_id] = semaphore
+        return semaphore
+
+    # -- asynchronous propagation driver -----------------------------------------
+
+    def _propagation_driver(self, coordinator, view: ViewDefinition,
+                            table: str, key: Hashable,
+                            cells: Dict[ColumnName, Cell], base_ts: int,
+                            collector, extract, completion, backpressure):
+        self.pending_propagations += 1
+        try:
+            # Keep collecting view keys from the remaining replicas
+            # (Alg. 1: propagation starts only after the Get has heard
+            # from all copies of the base row, or timed out).
+            responses = yield collector.settled
+            # Scheduling delay: maintenance work queues behind other
+            # maintenance work.
+            yield self.env.timeout(
+                self.config.propagation_delay.sample(self._rng))
+
+            update_values = {
+                column: (None if cell.tombstone else cell.value)
+                for column, cell in cells.items()
+                if column in view.watched_columns
+            }
+            guesses = self._guesses(view, responses, extract)
+            yield from self._propagate_with_retries(
+                coordinator, view, table, key, guesses, update_values,
+                base_ts)
+            self.completed_propagations += 1
+            self.cluster.trace("propagation", "completed", view=view.name,
+                               key=key, ts=base_ts)
+            completion.succeed()
+        except Exception as exc:
+            if not completion.triggered:
+                completion.fail(exc)
+                completion._defused = True
+            raise
+        finally:
+            backpressure.release()
+            self.pending_propagations -= 1
+
+    @staticmethod
+    def _merge_guess(seen: Dict[Any, ViewKeyGuess],
+                     guess: ViewKeyGuess) -> None:
+        """Deduplicate by key, keeping the max timestamp and preserving
+        the pristine-NULL property: if ANY replica reported the view key
+        as never-written, the NULL guess keeps its virtual-anchor
+        fallback even when another replica already shows this update's
+        own tombstone."""
+        existing = seen.get(guess.key)
+        if existing is None:
+            seen[guess.key] = guess
+        else:
+            seen[guess.key] = ViewKeyGuess(
+                guess.key,
+                max(existing.timestamp, guess.timestamp),
+                existing.allow_virtual or guess.allow_virtual)
+
+    def _guesses(self, view: ViewDefinition, responses,
+                 extract) -> List[ViewKeyGuess]:
+        """Distinct view-key guesses, most recent timestamp first."""
+        seen: Dict[Any, ViewKeyGuess] = {}
+        for response in responses:
+            cell = extract(response, view.view_key_column)
+            self._merge_guess(seen, ViewKeyGuess.from_cell(view, cell))
+        return sorted(seen.values(), key=lambda g: g.timestamp, reverse=True)
+
+    def _propagate_with_retries(self, coordinator, view: ViewDefinition,
+                                table: str, key: Hashable,
+                                guesses: List[ViewKeyGuess],
+                                update_values: Dict[ColumnName, Any],
+                                base_ts: int):
+        """Algorithm 1 lines 5-7: retry guesses until one propagates."""
+        exclusive = view.view_key_column in update_values
+        mode = self.config.propagation_concurrency
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > self.config.propagation_max_rounds:
+                raise PropagationError(
+                    f"update for base key {key!r} could not be propagated "
+                    f"to view {view.name!r} after {rounds - 1} rounds")
+            if mode == "locks":
+                yield from self.locks.acquire(view.name, key, exclusive)
+                try:
+                    success = yield from self._attempt_round(
+                        coordinator, view, key, guesses, update_values,
+                        base_ts)
+                finally:
+                    self.locks.release(view.name, key, exclusive)
+            elif mode == "propagators":
+                def job(propagation_coordinator):
+                    return self._attempt_round(
+                        propagation_coordinator, view, key, guesses,
+                        update_values, base_ts)
+
+                success = yield self.propagators.submit(
+                    coordinator.node.node_id, view.name, key, job)
+            else:
+                success = yield from self._attempt_round(
+                    coordinator, view, key, guesses, update_values, base_ts)
+            if success:
+                return
+            self.maintainer.metrics.retry_rounds += 1
+            self.cluster.trace("propagation", "round failed; backing off",
+                               view=view.name, key=key, round=rounds)
+            yield self.env.timeout(self.config.propagation_retry_backoff)
+            if rounds % 4 == 0:
+                # Refresh guesses from the base replicas: slow peers may
+                # have propagated by now, giving us a valid entry point.
+                fresh = yield from self._refresh_guesses(
+                    coordinator, view, table, key)
+                merged: Dict[Any, ViewKeyGuess] = {}
+                for guess in (*guesses, *fresh):
+                    self._merge_guess(merged, guess)
+                guesses[:] = sorted(merged.values(),
+                                    key=lambda g: g.timestamp, reverse=True)
+
+    def _attempt_round(self, coordinator, view: ViewDefinition,
+                       key: Hashable, guesses: List[ViewKeyGuess],
+                       update_values: Dict[ColumnName, Any], base_ts: int):
+        """Try each guess once; True on success.
+
+        ``PropagationError`` means the guess is not (yet) a valid chain
+        entry point; ``QuorumError`` means a transient replica shortfall
+        (loss, timeout) during an internal view Get/Put.  Both cases are
+        retried on a later round — Algorithm 2's writes are idempotent,
+        so re-running a partially applied propagation is safe.
+        """
+        for guess in guesses:
+            try:
+                yield from self.maintainer.propagate_update(
+                    coordinator, view, key, guess, update_values, base_ts)
+                return True
+            except (PropagationError, QuorumError):
+                continue
+        return False
+
+    def _refresh_guesses(self, coordinator, view: ViewDefinition,
+                         table: str, key: Hashable):
+        collector = coordinator.scatter_read(
+            table, key, (view.view_key_column,), 1)
+        responses = yield collector.settled
+        fresh: List[ViewKeyGuess] = []
+        for response in responses:
+            cell = response.cells.get(view.view_key_column)
+            fresh.append(ViewKeyGuess.from_cell(view, cell))
+        return fresh
+
+    # -- view reads (Algorithm 4 + Section V) ---------------------------------------
+
+    def view_get(self, coordinator, view_name: str, view_key: Any,
+                 columns: Tuple[ColumnName, ...], r: int, session=None):
+        """Read live rows for ``view_key``; blocks on session barriers."""
+        view = self.view(view_name)
+        if session is not None:
+            if session.coordinator_id != coordinator.node.node_id:
+                raise SessionError(
+                    "session guarantee requires all requests to use the "
+                    "session's coordinator "
+                    f"(session: {session.coordinator_id}, "
+                    f"request: {coordinator.node.node_id})")
+            pending = len(session.pending_for(view_name))
+            if pending:
+                self.cluster.trace("session", "view Get blocking",
+                                   view=view_name,
+                                   session=session.session_id,
+                                   pending=pending)
+            yield from self.sessions.barrier(session, view_name)
+        yield from coordinator.node._use_cpu(self.config.service.coordinator)
+        results = yield from view_read.view_get(
+            self.env, coordinator, view, view_key, columns, r)
+        return results
+
+    # -- backfill (views defined over populated tables) --------------------------------
+
+    def backfill(self, view_name: str, coordinator_id: int = 0):
+        """Build a view's contents from existing base rows; a process.
+
+        Registering a view over a populated base table requires an
+        initial load (the paper assumes views start correctly
+        initialized).  Each base row's current view-key and materialized
+        cells are propagated through the normal maintenance machinery, so
+        the resulting versioned view is exactly what incremental
+        maintenance would have produced.
+        """
+        view = self.view(view_name)
+        coordinator = self.cluster.coordinator(coordinator_id)
+        keys = set()
+        for node in self.cluster.nodes:
+            if not node.is_down and node.engine.has_table(view.base_table):
+                keys.update(node.engine.keys(view.base_table))
+        loaded = 0
+        for key in sorted(keys, key=repr):
+            columns = (view.view_key_column, *view.materialized_columns)
+            merged = yield from coordinator.get(
+                view.base_table, key, columns,
+                min(self.config.replication_factor, self.config.nodes))
+            key_cell = merged[view.view_key_column]
+            if key_cell.timestamp < 0:
+                continue
+            pristine = [ViewKeyGuess.from_cell(view, None)]
+            # Propagate the view-key cell at its own timestamp, then each
+            # materialized cell at its own timestamp.
+            yield from self._propagate_with_retries(
+                coordinator, view, view.base_table, key, list(pristine),
+                {view.view_key_column: (None if key_cell.tombstone
+                                        else key_cell.value)},
+                key_cell.timestamp)
+            for column in view.materialized_columns:
+                cell = merged[column]
+                if cell.timestamp < 0:
+                    continue
+                guesses = [ViewKeyGuess.from_cell(view, key_cell)]
+                yield from self._propagate_with_retries(
+                    coordinator, view, view.base_table, key, guesses,
+                    {column: (None if cell.tombstone else cell.value)},
+                    cell.timestamp)
+            loaded += 1
+        return loaded

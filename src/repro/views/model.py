@@ -1,0 +1,213 @@
+"""Reference semantics for views: executable Definitions 1, 2 and 3.
+
+This module is the *specification*, independent of the distributed
+implementation: a pure, in-memory model that tests (and curious users)
+can compare cluster state against.
+
+- :class:`LogicalBaseTable` — a single-copy base table applying updates
+  with the same LWW rules as the cluster.
+- :func:`expected_view_rows` — Definition 1: the view contents implied by
+  a base-table state.
+- :class:`ReferenceViewModel` — Definitions 2/3: feed it updates *in
+  propagation order*; it reports the correct non-versioned view state
+  after each propagation prefix, and the set of view keys (live + stale)
+  the versioned view must anchor for every base row.
+
+A key subtlety (Definition 2): the correct view state after n
+propagations is obtained by applying exactly the *propagated* updates to
+the initial base state in timestamp order — the base table itself may be
+far ahead.  Because cell merging is LWW, applying a set of updates in
+timestamp order is equivalent to folding them in any order, which is what
+the model does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.common.records import Cell, ColumnName, cell_wins
+from repro.views.definition import ViewDefinition
+from repro.views.versioned import NULL_VIEW_KEY
+
+__all__ = [
+    "BaseUpdate",
+    "LogicalBaseTable",
+    "expected_view_rows",
+    "ReferenceViewModel",
+]
+
+
+@dataclass(frozen=True)
+class BaseUpdate:
+    """One single-column base-table update (a multi-column Put is several
+    updates sharing a timestamp)."""
+
+    key: Hashable
+    column: ColumnName
+    value: Any
+    timestamp: int
+
+    def as_cell(self) -> Cell:
+        return Cell.make(self.value, self.timestamp)
+
+
+class LogicalBaseTable:
+    """A single-copy base table with the cluster's LWW cell semantics."""
+
+    def __init__(self):
+        self._rows: Dict[Hashable, Dict[ColumnName, Cell]] = {}
+
+    def apply(self, update: BaseUpdate) -> None:
+        """LWW-apply one update."""
+        row = self._rows.setdefault(update.key, {})
+        incoming = update.as_cell()
+        if cell_wins(incoming, row.get(update.column)):
+            row[update.column] = incoming
+
+    def cell(self, key: Hashable, column: ColumnName) -> Cell:
+        """The current cell (``Cell.null()`` if never written)."""
+        return self._rows.get(key, {}).get(column, Cell.null())
+
+    def keys(self) -> List[Hashable]:
+        """All row keys ever written."""
+        return list(self._rows)
+
+    def copy(self) -> "LogicalBaseTable":
+        """An independent snapshot."""
+        clone = LogicalBaseTable()
+        clone._rows = {key: dict(cells) for key, cells in self._rows.items()}
+        return clone
+
+
+def expected_view_rows(
+    base: LogicalBaseTable, definition: ViewDefinition
+) -> Dict[Tuple[Any, Hashable], Dict[ColumnName, Cell]]:
+    """Definition 1: the view rows implied by a base-table state.
+
+    Returns ``{(view_key, base_key): {column: cell}}`` for every base row
+    whose view-key column is non-NULL (and passes the key predicate).
+    Each row carries the ``B`` column (the base key, timestamped like the
+    view-key cell) and every materialized column that has a value.
+    """
+    rows: Dict[Tuple[Any, Hashable], Dict[ColumnName, Cell]] = {}
+    for base_key in base.keys():
+        key_cell = base.cell(base_key, definition.view_key_column)
+        if key_cell.is_null or not definition.accepts_key(key_cell.value):
+            continue
+        view_key = key_cell.value
+        row: Dict[ColumnName, Cell] = {
+            "B": Cell(base_key, key_cell.timestamp),
+        }
+        for column in definition.materialized_columns:
+            cell = base.cell(base_key, column)
+            if cell.timestamp >= 0:
+                row[column] = cell
+        rows[(view_key, base_key)] = row
+    return rows
+
+
+@dataclass
+class _KeyHistory:
+    """Per-base-key record of propagated view-key versions."""
+
+    # view key value -> the largest propagated timestamp that set it
+    versions: Dict[Any, int] = field(default_factory=dict)
+
+
+class ReferenceViewModel:
+    """Oracle for one view: feed updates in propagation order.
+
+    ``propagate(update)`` records one base update as having reached the
+    view.  At any point:
+
+    - :meth:`current_view` is the correct non-versioned state Vn
+      (Definition 2);
+    - :meth:`live_key_for` / :meth:`stale_keys_for` describe the
+      versioned state the implementation must have built (Definition 3 /
+      Theorem 1): one live row at the latest propagated view key, stale
+      rows for every other propagated view key.
+    """
+
+    def __init__(self, definition: ViewDefinition,
+                 initial_base: Optional[LogicalBaseTable] = None):
+        self.definition = definition
+        self._base = (initial_base.copy() if initial_base is not None
+                      else LogicalBaseTable())
+        self._histories: Dict[Hashable, _KeyHistory] = {}
+        # Seed histories with the initial base state (its view keys are
+        # anchors for chains even before any propagation).
+        for base_key in self._base.keys():
+            cell = self._base.cell(base_key, definition.view_key_column)
+            if cell.timestamp >= 0:
+                self._note_version(base_key, cell)
+        self.propagated_count = 0
+
+    # -- feeding ------------------------------------------------------------
+
+    def _note_version(self, base_key: Hashable, cell: Cell) -> None:
+        view_key = self._effective_view_key(cell)
+        history = self._histories.setdefault(base_key, _KeyHistory())
+        previous = history.versions.get(view_key, -1)
+        history.versions[view_key] = max(previous, cell.timestamp)
+
+    def _effective_view_key(self, cell: Cell) -> Any:
+        """Map a view-key cell to its chain anchor (NULL -> sentinel)."""
+        if cell.is_null or not self.definition.accepts_key(cell.value):
+            return NULL_VIEW_KEY
+        return cell.value
+
+    def propagate(self, update: BaseUpdate) -> None:
+        """Record that ``update`` has propagated to the view."""
+        if update.column == self.definition.view_key_column:
+            self._note_version(update.key, update.as_cell())
+        self._base.apply(update)
+        self.propagated_count += 1
+
+    # -- Definition 2: the non-versioned view state --------------------------
+
+    def current_view(self) -> Dict[Tuple[Any, Hashable], Dict[ColumnName, Cell]]:
+        """The correct view state Vn for the propagated prefix."""
+        return expected_view_rows(self._base, self.definition)
+
+    def live_values_for(self, base_key: Hashable) -> Optional[Dict[ColumnName, Any]]:
+        """Materialized values of ``base_key``'s live row (None if absent)."""
+        key_cell = self._base.cell(base_key, self.definition.view_key_column)
+        if key_cell.is_null or not self.definition.accepts_key(key_cell.value):
+            return None
+        values: Dict[ColumnName, Any] = {}
+        for column in self.definition.materialized_columns:
+            cell = self._base.cell(base_key, column)
+            values[column] = None if cell.is_null else cell.value
+        return values
+
+    # -- Definition 3: the versioned structure --------------------------------
+
+    def live_key_for(self, base_key: Hashable) -> Any:
+        """The view key of ``base_key``'s live row.
+
+        Returns :data:`NULL_VIEW_KEY` when the base row is currently
+        absent from the view (NULL / deleted / rejected view key), and
+        ``None`` when no update for ``base_key`` has ever propagated.
+        """
+        key_cell = self._base.cell(base_key, self.definition.view_key_column)
+        if base_key not in self._histories:
+            return None
+        return self._effective_view_key(key_cell)
+
+    def version_timestamps_for(self, base_key: Hashable) -> Dict[Any, int]:
+        """Propagated view-key versions and their largest timestamps."""
+        history = self._histories.get(base_key)
+        return dict(history.versions) if history else {}
+
+    def stale_keys_for(self, base_key: Hashable) -> FrozenSet[Any]:
+        """View keys that must exist as stale rows for ``base_key``."""
+        live = self.live_key_for(base_key)
+        if live is None:
+            return frozenset()
+        versions = self.version_timestamps_for(base_key)
+        return frozenset(key for key in versions if key != live)
+
+    def tracked_base_keys(self) -> Set[Hashable]:
+        """Base keys for which at least one version has been recorded."""
+        return set(self._histories)

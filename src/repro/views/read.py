@@ -1,0 +1,95 @@
+"""Reading from versioned views: Algorithm 4 of the paper.
+
+A view Get fetches the wide row for the requested view key, splits it into
+per-base-key entries, and returns only the *live* entries (self-pointing
+Next).  Stale rows are invisible to applications.  A view may legitimately
+contain several live rows under one view key (several base rows share the
+view key), so the result is a list.
+
+Rows marked with the ``Init`` cell are mid-initialization by a concurrent
+view-key propagation (Section IV-F); the reader spins briefly until the
+marker clears, which guarantees it never observes a half-copied row or
+two accessible live rows for one base row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.common.records import NULL_TIMESTAMP, ColumnName
+from repro.errors import ViewError
+from repro.views.definition import BASE_KEY_COLUMN, INIT_COLUMN, ViewDefinition
+from repro.views.versioned import (
+    NULL_VIEW_KEY,
+    base_timestamp_of,
+    split_wide_row,
+)
+
+__all__ = ["ViewResult", "view_get"]
+
+# Spin parameters for Init-marked rows.
+_SPIN_INTERVAL = 0.2
+_MAX_SPINS = 2000
+
+
+@dataclass(frozen=True)
+class ViewResult:
+    """One live view row returned by a view Get.
+
+    ``values`` maps each requested column to ``(value, timestamp)``,
+    timestamps in base-update units; unset columns read as
+    ``(None, -1)``.
+    """
+
+    base_key: Hashable
+    values: Dict[ColumnName, Tuple[Any, int]]
+
+    def __getitem__(self, column: ColumnName) -> Any:
+        """Convenience accessor for a column's value."""
+        return self.values[column][0]
+
+
+def view_get(env, coordinator, view: ViewDefinition, view_key: Any,
+             columns: Tuple[ColumnName, ...], r: int):
+    """Algorithm 4: return live rows matching ``view_key``.
+
+    A simulation process; yields a list of :class:`ViewResult` sorted by
+    base key.  ``r`` is the read quorum for the underlying wide-row Get.
+    """
+    if view_key == NULL_VIEW_KEY:
+        raise ViewError("the NULL view key is internal and cannot be read")
+    spins = 0
+    while True:
+        merged = yield from coordinator.get_row(view.name, view_key, r)
+        entries = split_wide_row(view_key, merged)
+        results: List[ViewResult] = []
+        initializing = False
+        for entry in entries:
+            if not entry.is_live:
+                continue
+            init_cell = entry.cells.get(INIT_COLUMN)
+            if init_cell is not None and not init_cell.is_null:
+                initializing = True
+                break
+            values: Dict[ColumnName, Tuple[Any, int]] = {}
+            for column in columns:
+                if column == BASE_KEY_COLUMN:
+                    values[column] = (entry.base_key, entry.base_ts)
+                    continue
+                cell = entry.cells.get(column)
+                if cell is None or cell.timestamp == NULL_TIMESTAMP:
+                    values[column] = (None, NULL_TIMESTAMP)
+                elif cell.is_null:
+                    values[column] = (None, base_timestamp_of(cell.timestamp))
+                else:
+                    values[column] = (cell.value,
+                                      base_timestamp_of(cell.timestamp))
+            results.append(ViewResult(entry.base_key, values))
+        if not initializing:
+            return results
+        spins += 1
+        if spins > _MAX_SPINS:
+            raise ViewError(
+                f"view {view.name!r} row {view_key!r} stuck initializing")
+        yield env.timeout(_SPIN_INTERVAL)

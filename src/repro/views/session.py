@@ -1,0 +1,88 @@
+"""Session guarantees (paper Section V, Definition 4).
+
+A session is a sequence of operations by one client, all directed at the
+same coordinator server.  The coordinator associates every pending view
+propagation with the session whose base-table Put triggered it; a view
+Get within the session blocks until all such propagations for that view
+are complete.  The guarantee is read-your-own-propagations: the Get sees
+a view state at least as late as the one produced by the client's own
+earlier Puts.  It says nothing about other sessions' updates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.errors import SessionError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Session", "SessionManager"]
+
+
+@dataclass
+class Session:
+    """One client session pinned to a coordinator."""
+
+    session_id: int
+    coordinator_id: int
+    # Pending propagation completion events, keyed by view name.
+    _pending: Dict[str, Set[Event]] = field(default_factory=dict)
+    ended: bool = False
+
+    def pending_for(self, view_name: str) -> List[Event]:
+        """Snapshot of this session's pending propagations to a view."""
+        return list(self._pending.get(view_name, ()))
+
+    @property
+    def pending_count(self) -> int:
+        """Total pending propagations across views."""
+        return sum(len(events) for events in self._pending.values())
+
+
+class SessionManager:
+    """Creates sessions and tracks their pending view propagations."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._ids = itertools.count(1)
+        self._sessions: Dict[int, Session] = {}
+        self.blocked_gets = 0
+
+    def create(self, coordinator_id: int) -> Session:
+        """Open a new session pinned to ``coordinator_id``."""
+        session = Session(next(self._ids), coordinator_id)
+        self._sessions[session.session_id] = session
+        return session
+
+    def end(self, session: Session) -> None:
+        """Close a session (pending propagations keep running)."""
+        session.ended = True
+        self._sessions.pop(session.session_id, None)
+
+    def register(self, session: Session, view_name: str,
+                 completion: Event) -> None:
+        """Attach a propagation's completion event to the session.
+
+        The event is dropped from the pending set automatically when it
+        fires.
+        """
+        if session.ended:
+            raise SessionError(
+                f"session {session.session_id} has already ended")
+        pending = session._pending.setdefault(view_name, set())
+        pending.add(completion)
+
+        def _done(event: Event) -> None:
+            pending.discard(event)
+
+        completion.add_callback(_done)
+
+    def barrier(self, session: Session, view_name: str):
+        """Process helper: block until the session's pending propagations
+        to ``view_name`` complete (paper Section V enforcement)."""
+        pending = session.pending_for(view_name)
+        if pending:
+            self.blocked_gets += 1
+            yield self.env.all_of(pending)

@@ -1,0 +1,105 @@
+"""View introspection: sizes, stale-row counts, chain-length statistics.
+
+Operators of a versioned view care about how much garbage it carries:
+every view-key update leaves a stale row behind, so a frequently
+re-keyed base row accumulates rows that cost space and lengthen
+``GetLiveKey`` walks (the paper's Figure 8 effect).  This module
+summarizes a view's physical state from converged storage; the
+stale-row collector (:mod:`repro.views.gc`) uses it to decide what to
+prune, and the skew analyses report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.views.definition import ViewDefinition
+from repro.views.invariants import collect_entries
+from repro.views.versioned import NULL_VIEW_KEY
+
+__all__ = ["ViewStats", "compute_stats"]
+
+
+@dataclass
+class ViewStats:
+    """Physical statistics of one versioned view."""
+
+    view_name: str
+    base_rows: int = 0
+    live_rows: int = 0
+    stale_rows: int = 0
+    anchor_rows: int = 0  # NULL-anchor entries (live or stale)
+    deleted_rows: int = 0  # base rows whose live row is the NULL anchor
+    chain_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        """All versioned entries (live + stale)."""
+        return self.live_rows + self.stale_rows
+
+    @property
+    def stale_fraction(self) -> float:
+        """Share of entries that are stale (0.0 when the view is empty)."""
+        if self.total_rows == 0:
+            return 0.0
+        return self.stale_rows / self.total_rows
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest stale chain (hops from a stale row to its live row)."""
+        return max(self.chain_lengths, default=0)
+
+    @property
+    def mean_chain_length(self) -> float:
+        """Mean hops from a stale row to its live row."""
+        if not self.chain_lengths:
+            return 0.0
+        return sum(self.chain_lengths) / len(self.chain_lengths)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"view {self.view_name!r}: {self.base_rows} base rows, "
+                f"{self.live_rows} live + {self.stale_rows} stale entries "
+                f"({self.stale_fraction:.0%} stale), "
+                f"chains mean {self.mean_chain_length:.2f} / "
+                f"max {self.max_chain_length}")
+
+
+def compute_stats(cluster, view: ViewDefinition) -> ViewStats:
+    """Summarize the converged physical state of ``view``.
+
+    Inspects node storage directly (operator tooling, not part of the
+    simulated protocol) and merges replicas by LWW.
+    """
+    stats = ViewStats(view.name)
+    per_base = collect_entries(cluster, view)
+    stats.base_rows = len(per_base)
+    for base_key, entries in per_base.items():
+        live_keys = [vk for vk, entry in entries.items() if entry.is_live]
+        for view_key, entry in entries.items():
+            if view_key == NULL_VIEW_KEY:
+                stats.anchor_rows += 1
+            if entry.is_live:
+                stats.live_rows += 1
+                if view_key == NULL_VIEW_KEY:
+                    stats.deleted_rows += 1
+            else:
+                stats.stale_rows += 1
+        # Chain length per stale entry: hops to reach the live row.
+        for view_key, entry in entries.items():
+            if entry.is_live:
+                continue
+            hops = 0
+            current = entry
+            seen = {view_key}
+            while not current.is_live:
+                hops += 1
+                next_key = current.next_key
+                if next_key in seen or next_key not in entries:
+                    hops = -1  # broken/cyclic chain: report as unreachable
+                    break
+                seen.add(next_key)
+                current = entries[next_key]
+            stats.chain_lengths.append(hops)
+    return stats

@@ -1,0 +1,42 @@
+"""Workload generation and measurement harness."""
+
+from repro.workloads.generators import (
+    FixedKey,
+    KeyChooser,
+    RangeKeys,
+    UniformKeys,
+    ZipfianKeys,
+    value_string,
+)
+from repro.workloads.runner import (
+    index_read_op,
+    measure_latency,
+    mixed_op,
+    read_op,
+    run_closed_loop,
+    view_read_op,
+    write_op,
+)
+from repro.workloads.stats import LatencyRecorder, RunResult
+from repro.workloads.ycsb import WORKLOADS, YcsbWorkload, make_op as ycsb_op
+
+__all__ = [
+    "KeyChooser",
+    "UniformKeys",
+    "RangeKeys",
+    "ZipfianKeys",
+    "FixedKey",
+    "value_string",
+    "run_closed_loop",
+    "measure_latency",
+    "read_op",
+    "write_op",
+    "index_read_op",
+    "view_read_op",
+    "mixed_op",
+    "LatencyRecorder",
+    "RunResult",
+    "YcsbWorkload",
+    "WORKLOADS",
+    "ycsb_op",
+]

@@ -1,0 +1,191 @@
+"""Closed-loop workload execution against a simulated cluster.
+
+Mirrors the paper's methodology: a set of clients issues operations
+back-to-back "as quickly as possible" for a fixed duration; aggregate
+throughput is the completed-operation rate over the measurement window
+(after a warmup), and latency is recorded per operation.
+
+An *operation factory* is a callable ``(client, rng) -> generator``
+producing one operation as a simulation process body; factories for the
+paper's access patterns are provided (:func:`read_op`, :func:`write_op`,
+:func:`index_read_op`, :func:`view_read_op`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import QuorumError
+from repro.workloads.generators import KeyChooser, value_string
+from repro.workloads.stats import LatencyRecorder, RunResult
+
+__all__ = [
+    "run_closed_loop",
+    "measure_latency",
+    "read_op",
+    "write_op",
+    "index_read_op",
+    "view_read_op",
+    "mixed_op",
+]
+
+OpFactory = Callable[[object, random.Random], object]
+
+
+def run_closed_loop(cluster, op_factory: OpFactory, clients: int,
+                    duration: float, warmup: float = 0.0,
+                    think_time: float = 0.0) -> RunResult:
+    """Run ``clients`` closed-loop clients for ``duration`` ms.
+
+    Returns throughput/latency over the post-warmup window.  Quorum
+    failures are counted as errors, not latencies.  The cluster's clock
+    need not start at zero (back-to-back runs on one cluster work).
+    """
+    if duration <= warmup:
+        raise ValueError("duration must exceed warmup")
+    env = cluster.env
+    start_time = env.now
+    warmup_end = start_time + warmup
+    stop_time = start_time + duration
+    recorder = LatencyRecorder()
+    counters = {"ops": 0, "errors": 0}
+    handles = [cluster.client() for _ in range(clients)]
+    rngs = [cluster.streams.stream(f"workload-client-{h.client_id}")
+            for h in handles]
+
+    def loop(handle, rng):
+        while env.now < stop_time:
+            began = env.now
+            try:
+                yield from op_factory(handle, rng)
+            except QuorumError:
+                counters["errors"] += 1
+                continue
+            finished = env.now
+            if began >= warmup_end and finished <= stop_time:
+                recorder.record(finished - began)
+                counters["ops"] += 1
+            if think_time > 0:
+                yield env.timeout(think_time)
+
+    processes = [env.process(loop(handle, rng), name=f"client-{i}")
+                 for i, (handle, rng) in enumerate(zip(handles, rngs))]
+    for process in processes:
+        env.run(until=process)
+    return RunResult(operations=counters["ops"],
+                     duration=stop_time - warmup_end,
+                     latency=recorder,
+                     errors=counters["errors"])
+
+
+def measure_latency(cluster, op_factory: OpFactory,
+                    requests: int) -> RunResult:
+    """Single-client latency measurement over a fixed request count.
+
+    The paper's latency methodology: one client issues ``requests``
+    operations back to back and the mean per-request time is reported.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    env = cluster.env
+    handle = cluster.client()
+    rng = cluster.streams.stream(f"latency-client-{handle.client_id}")
+    recorder = LatencyRecorder()
+    counters = {"errors": 0}
+    start = env.now
+
+    def loop():
+        for _ in range(requests):
+            began = env.now
+            try:
+                yield from op_factory(handle, rng)
+            except QuorumError:
+                counters["errors"] += 1
+                continue
+            recorder.record(env.now - began)
+
+    process = env.process(loop(), name="latency-client")
+    env.run(until=process)
+    return RunResult(operations=recorder.count,
+                     duration=env.now - start,
+                     latency=recorder,
+                     errors=counters["errors"])
+
+
+# ---------------------------------------------------------------------------
+# Operation factories for the paper's access patterns
+# ---------------------------------------------------------------------------
+
+
+def read_op(table: str, keys: KeyChooser, columns, r: int = 1) -> OpFactory:
+    """BT: primary-key Get of ``columns``."""
+    columns = list(columns)
+
+    def factory(client, rng):
+        key = keys.choose(rng)
+        yield from client.get(table, key, columns, r)
+
+    return factory
+
+
+def index_read_op(table: str, column, keys: KeyChooser,
+                  value_of_key: Callable, columns) -> OpFactory:
+    """SI: secondary-index Get; ``value_of_key(key)`` maps a chosen key to
+    its indexed value (the experiments use unique per-row values)."""
+    columns = list(columns)
+
+    def factory(client, rng):
+        key = keys.choose(rng)
+        yield from client.get_by_index(table, column, value_of_key(key),
+                                       columns)
+
+    return factory
+
+
+def view_read_op(view: str, keys: KeyChooser, value_of_key: Callable,
+                 columns, r: int = 1) -> OpFactory:
+    """MV: view Get by view key."""
+    columns = list(columns)
+
+    def factory(client, rng):
+        key = keys.choose(rng)
+        yield from client.get_view(view, value_of_key(key), columns, r)
+
+    return factory
+
+
+def mixed_op(write_fraction: float, write_factory: OpFactory,
+             read_factory: OpFactory) -> OpFactory:
+    """A probabilistic mix: each operation is a write with probability
+    ``write_fraction``, otherwise a read."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+
+    def factory(client, rng):
+        if rng.random() < write_fraction:
+            yield from write_factory(client, rng)
+        else:
+            yield from read_factory(client, rng)
+
+    return factory
+
+
+def write_op(table: str, keys: KeyChooser, column,
+             value_factory: Optional[Callable] = None,
+             w: int = 1) -> OpFactory:
+    """Update ``column`` of a randomly chosen row.
+
+    ``value_factory(rng, key)`` produces the new value (default: a random
+    16-char string).
+    """
+    if value_factory is None:
+        def value_factory(rng, _key):
+            return value_string(rng)
+
+    def factory(client, rng):
+        key = keys.choose(rng)
+        yield from client.put(table, key, {column: value_factory(rng, key)},
+                              w)
+
+    return factory

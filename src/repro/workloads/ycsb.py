@@ -1,0 +1,101 @@
+"""YCSB-style standard workload mixes.
+
+The Yahoo! Cloud Serving Benchmark's core workloads, mapped onto this
+store's operations, as convenient presets for experiments beyond the
+paper's own.  Each preset pairs an operation mix with the standard
+request distribution:
+
+| preset | mix | distribution | YCSB analogue |
+|---|---|---|---|
+| A | 50% reads / 50% updates | zipfian | update heavy |
+| B | 95% reads / 5% updates | zipfian | read mostly |
+| C | 100% reads | zipfian | read only |
+| D | 95% reads / 5% inserts | latest-ish (zipfian over recency) | read latest |
+| F | 50% reads / 50% read-modify-write | zipfian | RMW |
+
+(The scan-based workload E needs range queries, which keyed-record
+stores of this class do not offer — the paper's systems included.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.workloads.generators import KeyChooser, UniformKeys, ZipfianKeys
+from repro.workloads.runner import OpFactory, value_string
+
+__all__ = ["YcsbWorkload", "WORKLOADS", "make_op"]
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One preset: operation probabilities over a key population."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    insert_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    zipfian: bool = True
+
+    def __post_init__(self):
+        total = (self.read_fraction + self.update_fraction
+                 + self.insert_fraction + self.rmw_fraction)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+
+    def chooser(self, population: int) -> KeyChooser:
+        """The preset's key distribution over ``population`` keys."""
+        if self.zipfian:
+            return ZipfianKeys(population, theta=0.99)
+        return UniformKeys(population)
+
+
+WORKLOADS = {
+    "A": YcsbWorkload("A", read_fraction=0.5, update_fraction=0.5),
+    "B": YcsbWorkload("B", read_fraction=0.95, update_fraction=0.05),
+    "C": YcsbWorkload("C", read_fraction=1.0, update_fraction=0.0),
+    "D": YcsbWorkload("D", read_fraction=0.95, update_fraction=0.0,
+                      insert_fraction=0.05),
+    "F": YcsbWorkload("F", read_fraction=0.5, update_fraction=0.0,
+                      rmw_fraction=0.5),
+}
+
+
+def make_op(workload: YcsbWorkload, table: str, population: int,
+            read_columns: Tuple[str, ...] = ("payload",),
+            update_column: str = "payload",
+            r: int = 1, w: int = 1) -> OpFactory:
+    """Build an op factory executing the preset against ``table``.
+
+    Inserts extend the key space monotonically past ``population``;
+    read-modify-write performs a Get followed by a Put on the same row.
+    """
+    chooser = workload.chooser(population)
+    columns = list(read_columns)
+    state = {"next_insert": population}
+
+    def factory(client, rng):
+        roll = rng.random()
+        if roll < workload.read_fraction:
+            key = chooser.choose(rng)
+            yield from client.get(table, key, columns, r)
+        elif roll < workload.read_fraction + workload.update_fraction:
+            key = chooser.choose(rng)
+            yield from client.put(table, key,
+                                  {update_column: value_string(rng)}, w)
+        elif (roll < workload.read_fraction + workload.update_fraction
+                + workload.insert_fraction):
+            key = state["next_insert"]
+            state["next_insert"] += 1
+            yield from client.put(table, key,
+                                  {update_column: value_string(rng)}, w)
+        else:  # read-modify-write
+            key = chooser.choose(rng)
+            current = yield from client.get(table, key, columns, r)
+            base = current.get(update_column, (None, -1))[0] or ""
+            yield from client.put(
+                table, key, {update_column: (str(base) + "!")[:32]}, w)
+
+    return factory

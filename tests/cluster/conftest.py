@@ -1,0 +1,31 @@
+"""Shared fixtures for cluster-level tests."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim.latency import Fixed
+
+
+def make_config(**overrides) -> ClusterConfig:
+    """A small deterministic config: fixed latencies, no jitter."""
+    defaults = dict(
+        nodes=4,
+        replication_factor=3,
+        client_link=Fixed(0.1),
+        replica_link=Fixed(0.1),
+        seed=1234,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    return cluster
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.sync_client()

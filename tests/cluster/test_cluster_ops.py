@@ -1,0 +1,259 @@
+"""Integration tests: client API, replication, failures, eventual delivery."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common import Cell
+from repro.errors import ClusterError, NodeDownError
+
+from tests.cluster.conftest import make_config
+
+
+def build_cluster(**overrides):
+    cluster = Cluster(make_config(**overrides))
+    cluster.create_table("T")
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Topology / schema
+# ---------------------------------------------------------------------------
+
+
+def test_replicas_for_returns_n_distinct_nodes():
+    cluster = build_cluster()
+    replicas = cluster.replicas_for("T", "some-key")
+    assert len(replicas) == 3
+    assert len({r.node_id for r in replicas}) == 3
+
+
+def test_replica_placement_depends_only_on_key():
+    cluster = build_cluster()
+    assert cluster.replicas_for("T", "k") == cluster.replicas_for("T", "k")
+
+
+def test_tables_created_on_every_node():
+    cluster = build_cluster()
+    assert all(node.engine.has_table("T") for node in cluster.nodes)
+
+
+def test_create_index_on_unknown_table_rejected():
+    cluster = build_cluster()
+    with pytest.raises(ClusterError):
+        cluster.create_index("UNKNOWN", "c")
+
+
+def test_index_on_populated_table_rebuilds_fragments():
+    cluster = build_cluster()
+    client = cluster.sync_client()
+    for i in range(4):
+        client.put("T", f"k{i}", {"sec": "v"}, w=3)
+    cluster.create_index("T", "sec")
+    found = client.get_by_index("T", "sec", "v", ["sec"])
+    assert sorted(found) == [f"k{i}" for i in range(4)]
+
+
+def test_node_lookup_bounds():
+    cluster = build_cluster()
+    with pytest.raises(ClusterError):
+        cluster.node(99)
+
+
+# ---------------------------------------------------------------------------
+# Client operations
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_round_trip():
+    cluster = build_cluster()
+    client = cluster.sync_client()
+    ts = client.put("T", "k", {"a": 1, "b": "two"}, w=2)
+    result = client.get("T", "k", ["a", "b"], r=2)
+    assert result == {"a": (1, ts), "b": ("two", ts)}
+
+
+def test_get_never_written_cell():
+    cluster = build_cluster()
+    client = cluster.sync_client()
+    assert client.get("T", "nope", ["a"]) == {"a": (None, -1)}
+
+
+def test_put_null_deletes(cluster, client):
+    ts1 = client.put("T", "k", {"a": 1}, w=3)
+    ts2 = client.put("T", "k", {"a": None}, w=3)
+    assert ts2 > ts1
+    assert client.get("T", "k", ["a"], r=3) == {"a": (None, ts2)}
+
+
+def test_put_after_delete_revives(cluster, client):
+    client.put("T", "k", {"a": 1}, w=3)
+    client.put("T", "k", {"a": None}, w=3)
+    ts = client.put("T", "k", {"a": 2}, w=3)
+    assert client.get("T", "k", ["a"], r=3) == {"a": (2, ts)}
+
+
+def test_explicit_timestamps_win_over_ordering(cluster, client):
+    client.put("T", "k", {"a": "late"}, w=3, timestamp=100)
+    client.put("T", "k", {"a": "early"}, w=3, timestamp=50)
+    assert client.get("T", "k", ["a"], r=3)["a"] == ("late", 100)
+
+
+def test_distinct_clients_get_distinct_timestamps():
+    cluster = build_cluster()
+    a = cluster.sync_client()
+    b = cluster.sync_client()
+    assert a.put("T", "x", {"c": 1}) != b.put("T", "y", {"c": 1})
+
+
+def test_client_to_down_coordinator_fails():
+    cluster = build_cluster()
+    client = cluster.sync_client(coordinator_id=2)
+    cluster.fail_node(2)
+    with pytest.raises(NodeDownError):
+        client.put("T", "k", {"a": 1})
+
+
+def test_clients_round_robin_coordinators():
+    cluster = build_cluster()
+    ids = [cluster.client().coordinator_id for _ in range(8)]
+    assert ids == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_index_lookup_via_client(cluster, client):
+    cluster.create_index("T", "name")
+    client.put("T", 1, {"name": "alice"}, w=3)
+    client.put("T", 2, {"name": "bob"}, w=3)
+    client.put("T", 3, {"name": "alice"}, w=3)
+    found = client.get_by_index("T", "name", "alice", ["name"])
+    assert sorted(found) == [1, 3]
+    assert found[1]["name"][0] == "alice"
+
+
+def test_index_tracks_updates_and_deletes(cluster, client):
+    cluster.create_index("T", "name")
+    client.put("T", 1, {"name": "alice"}, w=3)
+    client.put("T", 1, {"name": "carol"}, w=3)
+    assert client.get_by_index("T", "name", "alice", ["name"]) == {}
+    assert sorted(client.get_by_index("T", "name", "carol", ["name"])) == [1]
+    client.put("T", 1, {"name": None}, w=3)
+    assert client.get_by_index("T", "name", "carol", ["name"]) == {}
+
+
+# ---------------------------------------------------------------------------
+# Stale reads / eventual consistency
+# ---------------------------------------------------------------------------
+
+
+def test_w1_r1_can_read_stale_then_converges():
+    """With W=1,R=1 a read may miss the newest write; replicas converge
+    once all write messages are delivered."""
+    cluster = build_cluster(read_repair=False)
+    client = cluster.sync_client()
+    client.put("T", "k", {"a": "v1"}, w=3)
+    # Issue the second put with W=1: ack after first replica.
+    env = cluster.env
+    process = env.process(client.handle.put("T", "k", {"a": "v2"}, w=1))
+    env.run(until=process)
+    # Eventually every replica has v2 (broadcast continues in background).
+    cluster.run_until_idle()
+    for replica in cluster.replicas_for("T", "k"):
+        assert replica.engine.read("T", "k", ("a",))["a"].value == "v2"
+
+
+def test_concurrent_writes_converge_by_timestamp():
+    cluster = build_cluster()
+    a = cluster.sync_client()
+    b = cluster.sync_client()
+    env = cluster.env
+    pa = env.process(a.handle.put("T", "k", {"c": "from-a"}, 3, 200))
+    pb = env.process(b.handle.put("T", "k", {"c": "from-b"}, 3, 100))
+    env.run(until=pa)
+    env.run(until=pb)
+    cluster.run_until_idle()
+    for replica in cluster.replicas_for("T", "k"):
+        assert replica.engine.read("T", "k", ("c",))["c"].value == "from-a"
+
+
+# ---------------------------------------------------------------------------
+# Failures, hints, anti-entropy
+# ---------------------------------------------------------------------------
+
+
+def test_hinted_handoff_delivers_after_recovery():
+    cluster = build_cluster()
+    client = cluster.sync_client()
+    replicas = cluster.replicas_for("T", "k")
+    down = replicas[0]
+    down.mark_down()
+    client.put("T", "k", {"a": "while-down"}, w=2)
+    assert len(cluster.hints) == 1
+    assert down.engine.read("T", "k", ("a",))["a"] is None
+    cluster.recover_node(down.node_id)
+    cluster.run_until_idle()
+    assert down.engine.read("T", "k", ("a",))["a"].value == "while-down"
+    assert len(cluster.hints) == 0
+    assert cluster.hints.hints_replayed == 1
+
+
+def test_hinted_handoff_disabled():
+    cluster = build_cluster(hinted_handoff=False)
+    client = cluster.sync_client()
+    replicas = cluster.replicas_for("T", "k")
+    down = replicas[0]
+    down.mark_down()
+    client.put("T", "k", {"a": "x"}, w=2)
+    assert len(cluster.hints) == 0
+
+
+def test_repair_row_reconciles_divergent_replicas():
+    cluster = build_cluster(read_repair=False)
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].engine.apply("T", "k", {"a": Cell.make("new", 9)})
+    replicas[1].engine.apply("T", "k", {"b": Cell.make("only-here", 4)})
+    process = cluster.repair_row("T", "k")
+    repaired = cluster.env.run(until=process)
+    assert repaired >= 1
+    cluster.run_until_idle()
+    for replica in replicas:
+        assert replica.engine.read("T", "k", ("a",))["a"].value == "new"
+        assert replica.engine.read("T", "k", ("b",))["b"].value == "only-here"
+
+
+def test_repair_table_sweeps_all_keys():
+    cluster = build_cluster(read_repair=False)
+    # Diverge two rows by hand.
+    for key in ("k1", "k2"):
+        replicas = cluster.replicas_for("T", key)
+        replicas[0].engine.apply("T", key, {"a": Cell.make("fresh", 9)})
+    process = cluster.repair_table("T")
+    repaired_rows = cluster.env.run(until=process)
+    assert repaired_rows == 2
+    cluster.run_until_idle()
+    for key in ("k1", "k2"):
+        for replica in cluster.replicas_for("T", key):
+            assert replica.engine.read("T", key, ("a",))["a"].value == "fresh"
+
+
+def test_periodic_anti_entropy_converges_without_reads():
+    cluster = build_cluster(read_repair=False, hinted_handoff=False)
+    client = cluster.sync_client()
+    replicas = cluster.replicas_for("T", "k")
+    down = replicas[0]
+    down.mark_down()
+    client.put("T", "k", {"a": "missed"}, w=2)
+    down.mark_up()
+    service = cluster.start_anti_entropy(["T"], interval=50.0)
+    cluster.run(until=200.0)
+    service.stop()
+    assert down.engine.read("T", "k", ("a",))["a"].value == "missed"
+    assert service.sweeps >= 1
+
+
+def test_write_survives_coordinator_other_than_replica():
+    """Any node can coordinate writes for keys it does not own."""
+    cluster = build_cluster()
+    replicas = {r.node_id for r in cluster.replicas_for("T", "k")}
+    outsider = next(n for n in cluster.nodes if n.node_id not in replicas)
+    client = cluster.sync_client(coordinator_id=outsider.node_id)
+    client.put("T", "k", {"a": 1}, w=3)
+    assert client.get("T", "k", ["a"], r=1)["a"][0] == 1

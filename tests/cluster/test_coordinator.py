@@ -1,0 +1,325 @@
+"""Tests for ResponseCollector and coordinator quorum semantics."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.coordinator import ResponseCollector
+from repro.common import Cell
+from repro.errors import QuorumError, UnavailableError
+from repro.sim import Environment
+
+from tests.cluster.conftest import make_config
+
+
+# ---------------------------------------------------------------------------
+# ResponseCollector
+# ---------------------------------------------------------------------------
+
+
+def make_events(env, delays_values):
+    events = []
+    for delay, value in delays_values:
+        events.append(env.timeout(delay, value=value))
+    return events
+
+
+def test_collector_wait_returns_first_k():
+    env = Environment()
+    events = make_events(env, [(3.0, "c"), (1.0, "a"), (2.0, "b")])
+    collector = ResponseCollector(env, events, timeout=100.0)
+    got = {}
+
+    def proc():
+        got["two"] = yield collector.wait(2)
+        got["when"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert got["two"] == ["a", "b"]
+    assert got["when"] == 2.0
+
+
+def test_collector_multiple_waiters():
+    env = Environment()
+    events = make_events(env, [(1.0, "a"), (2.0, "b"), (3.0, "c")])
+    collector = ResponseCollector(env, events, timeout=100.0)
+    got = {}
+
+    def proc(name, count):
+        responses = yield collector.wait(count)
+        got[name] = (responses, env.now)
+
+    env.process(proc("one", 1))
+    env.process(proc("three", 3))
+    env.run()
+    assert got["one"] == (["a"], 1.0)
+    assert got["three"] == (["a", "b", "c"], 3.0)
+
+
+def test_collector_wait_after_responses_arrived():
+    env = Environment()
+    events = make_events(env, [(1.0, "a")])
+    collector = ResponseCollector(env, events, timeout=100.0)
+    got = {}
+
+    def proc():
+        yield env.timeout(50.0)
+        got["late"] = yield collector.wait(1)
+
+    env.process(proc())
+    env.run()
+    assert got["late"] == ["a"]
+
+
+def test_collector_timeout_fails_waiter():
+    env = Environment()
+    # Only one event will ever fire; the waiter wants two.
+    events = make_events(env, [(1.0, "a")]) + [env.event()]
+    collector = ResponseCollector(env, events, timeout=10.0)
+    caught = []
+
+    def proc():
+        try:
+            yield collector.wait(2)
+        except QuorumError as exc:
+            caught.append((exc.required, exc.received, env.now))
+
+    env.process(proc())
+    env.run(until=50.0)
+    assert caught == [(2, 1, 10.0)]
+
+
+def test_collector_wait_more_than_total_fails_fast_after_timeout():
+    env = Environment()
+    collector = ResponseCollector(env, [env.timeout(1.0, value="x")],
+                                  timeout=5.0)
+    caught = []
+
+    def proc():
+        yield env.timeout(6.0)
+        try:
+            yield collector.wait(2)
+        except QuorumError:
+            caught.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert caught == [6.0]
+
+
+def test_collector_settled_carries_all_responses():
+    env = Environment()
+    events = make_events(env, [(1.0, "a"), (4.0, "b")])
+    collector = ResponseCollector(env, events, timeout=100.0)
+    got = {}
+
+    def proc():
+        got["all"] = yield collector.settled
+        got["when"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert got["all"] == ["a", "b"]
+    assert got["when"] == 4.0
+
+
+def test_collector_settles_at_timeout_with_partial_responses():
+    env = Environment()
+    events = make_events(env, [(1.0, "a")]) + [env.event()]
+    collector = ResponseCollector(env, events, timeout=10.0)
+    got = {}
+
+    def proc():
+        got["all"] = yield collector.settled
+        got["when"] = env.now
+
+    env.process(proc())
+    env.run(until=50.0)
+    assert got["all"] == ["a"]
+    assert got["when"] == 10.0
+
+
+def test_collector_failure_propagates():
+    env = Environment()
+    failing = env.event()
+    collector = ResponseCollector(env, [failing], timeout=100.0)
+    caught = []
+
+    def proc():
+        try:
+            yield collector.wait(1)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+
+    def failer():
+        yield env.timeout(1.0)
+        failing.fail(RuntimeError("handler blew up"))
+
+    env.process(failer())
+    env.run(until=200.0)
+    assert caught == ["handler blew up"]
+
+
+def test_collector_empty_settles_immediately():
+    env = Environment()
+    collector = ResponseCollector(env, [], timeout=10.0)
+    got = {}
+
+    def proc():
+        got["all"] = yield collector.settled
+
+    env.process(proc())
+    env.run(until=20.0)
+    assert got["all"] == []
+
+
+# ---------------------------------------------------------------------------
+# Coordinator quorum operations
+# ---------------------------------------------------------------------------
+
+
+def build_cluster(**overrides):
+    cluster = Cluster(make_config(**overrides))
+    cluster.create_table("T")
+    return cluster
+
+
+def run_proc(cluster, generator):
+    process = cluster.env.process(generator)
+    return cluster.env.run(until=process)
+
+
+def test_put_then_get_round_trip():
+    cluster = build_cluster()
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.put("T", "k", {"a": Cell.make(7, 5)}, w=3))
+    merged = run_proc(cluster, coordinator.get("T", "k", ("a",), r=1))
+    assert merged["a"] == Cell.make(7, 5)
+
+
+def test_quorum_consensus_sees_latest_write():
+    """W + R > N: the read must observe the acknowledged write."""
+    cluster = build_cluster()
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.put("T", "k", {"a": Cell.make("v1", 10)}, w=2))
+    merged = run_proc(cluster, coordinator.get("T", "k", ("a",), r=2))
+    assert merged["a"].value == "v1"
+
+
+def test_write_quorum_validated():
+    cluster = build_cluster()
+    coordinator = cluster.coordinator(0)
+    from repro.errors import InvalidQuorumError
+
+    with pytest.raises(InvalidQuorumError):
+        run_proc(cluster,
+                 coordinator.put("T", "k", {"a": Cell.make(1, 0)}, w=4))
+
+
+def test_unavailable_when_too_few_replicas_alive():
+    cluster = build_cluster()
+    coordinator = cluster.coordinator(0)
+    replicas = cluster.replicas_for("T", "k")
+    for replica in replicas[:2]:
+        replica.mark_down()
+    with pytest.raises(UnavailableError):
+        run_proc(cluster,
+                 coordinator.put("T", "k", {"a": Cell.make(1, 0)}, w=2))
+
+
+def test_write_succeeds_with_one_replica_down_w1():
+    cluster = build_cluster()
+    coordinator = cluster.coordinator(0)
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].mark_down()
+    run_proc(cluster, coordinator.put("T", "k", {"a": Cell.make(1, 5)}, w=1))
+    alive = [r for r in replicas if not r.is_down]
+    assert any(r.engine.read("T", "k", ("a",))["a"] is not None for r in alive)
+
+
+def test_get_merges_newest_across_replicas():
+    cluster = build_cluster()
+    replicas = cluster.replicas_for("T", "k")
+    # Hand-plant divergent replica states.
+    replicas[0].engine.apply("T", "k", {"a": Cell.make("old", 1)})
+    replicas[1].engine.apply("T", "k", {"a": Cell.make("new", 9)})
+    replicas[2].engine.apply("T", "k", {"a": Cell.make("mid", 5)})
+    coordinator = cluster.coordinator(0)
+    merged = run_proc(cluster, coordinator.get("T", "k", ("a",), r=3))
+    assert merged["a"].value == "new"
+
+
+def test_read_repair_heals_stale_replicas():
+    cluster = build_cluster()
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].engine.apply("T", "k", {"a": Cell.make("old", 1)})
+    replicas[1].engine.apply("T", "k", {"a": Cell.make("new", 9)})
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.get("T", "k", ("a",), r=3))
+    cluster.run_until_idle()
+    for replica in replicas:
+        assert replica.engine.read("T", "k", ("a",))["a"].value == "new"
+
+
+def test_read_repair_can_be_disabled():
+    cluster = build_cluster(read_repair=False)
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].engine.apply("T", "k", {"a": Cell.make("old", 1)})
+    replicas[1].engine.apply("T", "k", {"a": Cell.make("new", 9)})
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.get("T", "k", ("a",), r=3))
+    cluster.run_until_idle()
+    assert replicas[0].engine.read("T", "k", ("a",))["a"].value == "old"
+
+
+def test_get_row_read_repairs_divergent_replicas():
+    """Wide-row reads (the view read path) also heal divergence."""
+    cluster = build_cluster()
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].engine.apply("T", "k", {"a": Cell.make("old", 1)})
+    replicas[1].engine.apply("T", "k", {"a": Cell.make("new", 9),
+                                        "b": Cell.make("only", 3)})
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.get_row("T", "k", r=3))
+    cluster.run_until_idle()
+    for replica in replicas:
+        assert replica.engine.read("T", "k", ("a",))["a"].value == "new"
+        assert replica.engine.read("T", "k", ("b",))["b"].value == "only"
+
+
+def test_get_row_merges_all_columns():
+    cluster = build_cluster()
+    replicas = cluster.replicas_for("T", "k")
+    replicas[0].engine.apply("T", "k", {"a": Cell.make(1, 5)})
+    replicas[1].engine.apply("T", "k", {"b": Cell.make(2, 6)})
+    coordinator = cluster.coordinator(0)
+    merged = run_proc(cluster, coordinator.get_row("T", "k", r=3))
+    assert merged["a"].value == 1
+    assert merged["b"].value == 2
+
+
+def test_index_read_scatters_to_all_nodes():
+    cluster = build_cluster()
+    cluster.create_index("T", "sec")
+    coordinator = cluster.coordinator(0)
+    for i in range(6):
+        run_proc(cluster, coordinator.put(
+            "T", f"k{i}", {"sec": Cell.make("target" if i % 2 else "other",
+                                            10 + i)}, w=3))
+    merged = run_proc(cluster,
+                      coordinator.index_read("T", "sec", "target", ("sec",)))
+    assert sorted(merged) == ["k1", "k3", "k5"]
+
+
+def test_index_read_excludes_stale_values():
+    cluster = build_cluster()
+    cluster.create_index("T", "sec")
+    coordinator = cluster.coordinator(0)
+    run_proc(cluster, coordinator.put("T", "k", {"sec": Cell.make("A", 10)}, w=3))
+    run_proc(cluster, coordinator.put("T", "k", {"sec": Cell.make("B", 20)}, w=3))
+    merged = run_proc(cluster, coordinator.index_read("T", "sec", "A", ("sec",)))
+    assert merged == {}
+    merged = run_proc(cluster, coordinator.index_read("T", "sec", "B", ("sec",)))
+    assert sorted(merged) == ["k"]

@@ -1,0 +1,140 @@
+"""Tests for the simulated network: RPC, partitions, loss, latency."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.messages import ReadRequest, ReadResponse, WriteAck, WriteRequest
+from repro.cluster.network import CLIENT
+from repro.common import Cell
+from repro.errors import NoSuchTableError
+
+from tests.cluster.conftest import make_config
+
+
+def build_cluster(**overrides):
+    cluster = Cluster(make_config(**overrides))
+    cluster.create_table("T")
+    return cluster
+
+
+def rpc_once(cluster, src_id, dst_node, request, horizon=500.0):
+    """Send one RPC and return (response or None, completion time)."""
+    event = cluster.network.rpc(src_id, dst_node, request)
+    result = {}
+
+    def waiter():
+        response = yield event
+        result["response"] = response
+        result["time"] = cluster.env.now
+
+    cluster.env.process(waiter())
+    cluster.env.run(until=horizon)
+    return result.get("response"), result.get("time")
+
+
+def test_rpc_round_trip_write():
+    cluster = build_cluster()
+    node = cluster.nodes[0]
+    request = WriteRequest("T", "k", {"a": Cell.make(1, 10)})
+    response, when = rpc_once(cluster, 1, node, request)
+    assert isinstance(response, WriteAck)
+    assert response.applied
+    assert node.engine.read("T", "k", ("a",))["a"] == Cell.make(1, 10)
+    # fixed 0.1ms each way + 0.025ms write + 0.008ms per-cell
+    assert when == pytest.approx(0.2 + 0.025 + 0.008)
+
+
+def test_rpc_read_response():
+    cluster = build_cluster()
+    node = cluster.nodes[0]
+    node.engine.apply("T", "k", {"a": Cell.make(5, 3)})
+    response, _ = rpc_once(cluster, 2, node, ReadRequest("T", "k", ("a",)))
+    assert isinstance(response, ReadResponse)
+    assert response.cells["a"] == Cell.make(5, 3)
+
+
+def test_rpc_to_down_node_never_fires():
+    cluster = build_cluster()
+    node = cluster.nodes[0]
+    node.mark_down()
+    response, when = rpc_once(cluster, 1, node,
+                              WriteRequest("T", "k", {"a": Cell.make(1, 0)}))
+    assert response is None and when is None
+    assert cluster.network.messages_dropped == 1
+
+
+def test_rpc_through_partition_dropped():
+    cluster = build_cluster()
+    cluster.partition(1, 0)
+    response, _ = rpc_once(cluster, 1, cluster.nodes[0],
+                           ReadRequest("T", "k", ("a",)))
+    assert response is None
+    cluster.heal_partition(1, 0)
+    response, _ = rpc_once(cluster, 1, cluster.nodes[0],
+                           ReadRequest("T", "k", ("a",)),
+                           horizon=cluster.env.now + 500.0)
+    assert response is not None
+
+
+def test_partition_is_symmetric():
+    cluster = build_cluster()
+    cluster.partition(0, 1)
+    assert cluster.network.is_partitioned(1, 0)
+    assert cluster.network.is_partitioned(0, 1)
+    assert not cluster.network.is_partitioned(0, 2)
+
+
+def test_heal_all():
+    cluster = build_cluster()
+    cluster.partition(0, 1)
+    cluster.partition(2, 3)
+    cluster.network.heal_all()
+    assert not cluster.network.is_partitioned(0, 1)
+    assert not cluster.network.is_partitioned(2, 3)
+
+
+def test_message_loss_drops_some():
+    cluster = build_cluster(message_loss=0.5)
+    node = cluster.nodes[0]
+    delivered = 0
+    for i in range(60):
+        response, _ = rpc_once(cluster, 1, node,
+                               ReadRequest("T", "k", ("a",)),
+                               horizon=cluster.env.now + 500.0)
+        if response is not None:
+            delivered += 1
+    # With 50% per-message loss a round trip survives ~25% of the time.
+    assert 2 < delivered < 35
+    assert cluster.network.messages_dropped > 0
+
+
+def test_handler_exception_fails_rpc_event():
+    cluster = build_cluster()
+    node = cluster.nodes[0]
+    event = cluster.network.rpc(1, node, ReadRequest("UNKNOWN", "k", ("a",)))
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except NoSuchTableError as exc:
+            caught.append(exc)
+
+    cluster.env.process(waiter())
+    cluster.env.run(until=10.0)
+    assert len(caught) == 1
+
+
+def test_client_link_used_for_client_endpoint():
+    from repro.sim.latency import Fixed
+
+    cluster = build_cluster(client_link=Fixed(5.0), replica_link=Fixed(0.1))
+    assert cluster.network.one_way_delay(CLIENT, 0) == 5.0
+    assert cluster.network.one_way_delay(0, CLIENT) == 5.0
+    assert cluster.network.one_way_delay(0, 1) == 0.1
+
+
+def test_messages_counted():
+    cluster = build_cluster()
+    rpc_once(cluster, 1, cluster.nodes[0], ReadRequest("T", "k", ("a",)))
+    assert cluster.network.messages_sent == 1

@@ -1,0 +1,86 @@
+"""Tests across cluster topologies beyond the paper's 4-node setup."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim.latency import Fixed
+from repro.views import ViewDefinition, check_view
+
+
+def build(nodes, replication, **overrides):
+    config = ClusterConfig(
+        nodes=nodes,
+        replication_factor=replication,
+        client_link=Fixed(0.1),
+        replica_link=Fixed(0.1),
+        seed=5,
+        **overrides,
+    )
+    cluster = Cluster(config)
+    cluster.create_table("T")
+    return cluster
+
+
+@pytest.mark.parametrize("nodes,replication", [
+    (1, 1), (2, 2), (3, 3), (5, 3), (8, 5),
+])
+def test_basic_ops_across_topologies(nodes, replication):
+    cluster = build(nodes, replication)
+    client = cluster.sync_client()
+    for i in range(10):
+        client.put("T", i, {"a": i * 2}, w=replication)
+    for i in range(10):
+        assert client.get("T", i, ["a"], r=1)["a"][0] == i * 2
+
+
+@pytest.mark.parametrize("nodes,replication", [(1, 1), (5, 3), (8, 5)])
+def test_views_across_topologies(nodes, replication):
+    cluster = build(nodes, replication)
+    view = ViewDefinition("V", "T", "vk", ("m",))
+    cluster.create_view(view)
+    client = cluster.sync_client()
+    for i in range(8):
+        client.put("T", i, {"vk": f"g{i % 2}", "m": i})
+    client.put("T", 0, {"vk": "g1"})
+    client.settle()
+    assert check_view(cluster, view) == []
+    rows = client.get_view("V", "g1", ["m"])
+    assert sorted(r.base_key for r in rows) == [0, 1, 3, 5, 7]
+
+
+def test_replication_factor_larger_than_nodes_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=2, replication_factor=3)
+
+
+def test_single_node_cluster_is_degenerate_but_works():
+    """N = W = R = 1: a plain single-copy store."""
+    cluster = build(1, 1)
+    cluster.create_view(ViewDefinition("V", "T", "vk"))
+    client = cluster.sync_client()
+    client.put("T", "k", {"vk": "a"})
+    client.settle()
+    assert [r.base_key for r in client.get_view("V", "a", ["B"])] == ["k"]
+
+
+def test_quorum_consensus_in_five_replica_cluster():
+    cluster = build(8, 5)
+    client = cluster.sync_client()
+    client.put("T", "k", {"a": "newest"}, w=3)  # W=3 of N=5
+    assert client.get("T", "k", ["a"], r=3)["a"][0] == "newest"  # R=3
+
+
+def test_view_maintenance_uses_majority_of_five():
+    cluster = build(8, 5)
+    cluster.create_view(ViewDefinition("V", "T", "vk"))
+    assert cluster.view_manager.maintainer.quorum == 3
+    client = cluster.sync_client()
+    client.put("T", "k", {"vk": "a"}, w=3)
+    client.settle()
+    # The view row must be durable on a majority of its 5 replicas.
+    replicas = cluster.replicas_for("V", "a")
+    with_data = sum(
+        1 for replica in replicas
+        if replica.engine.read("V", "a", (("k", "Next"),))[("k", "Next")]
+        is not None)
+    assert with_data >= 3

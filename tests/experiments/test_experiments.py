@@ -1,0 +1,210 @@
+"""Tests for the experiment harness (quick parameter sets).
+
+The benchmarks assert the paper's shapes at full scale; these tests
+exercise the harness machinery quickly: result plumbing, scenario
+builders, and a few robust shape properties that hold even at tiny
+sizes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentParams,
+    FigureResult,
+    ablations,
+    fig3_read_latency,
+    fig5_write_latency,
+    fig7_session_guarantees,
+    fig8_update_skew,
+)
+from repro.experiments.calibration import experiment_config, fig7_config
+from repro.experiments.scenarios import (
+    PAYLOAD_COLUMN,
+    TABLE,
+    VIEW_NAME,
+    build_scenario,
+    sec_value,
+)
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return ExperimentParams().quick()
+
+
+# ---------------------------------------------------------------------------
+# FigureResult
+# ---------------------------------------------------------------------------
+
+
+def test_figure_result_rows_and_columns():
+    result = FigureResult("F", "t", ("a", "b"))
+    result.add_row(1, 2.0)
+    result.add_row(3, 4.0)
+    assert result.column("a") == [1, 3]
+    assert result.column("b") == [2.0, 4.0]
+
+
+def test_figure_result_arity_checked():
+    result = FigureResult("F", "t", ("a", "b"))
+    with pytest.raises(ValueError):
+        result.add_row(1)
+
+
+def test_figure_result_series_filter():
+    result = FigureResult("F", "t", ("label", "x", "y"))
+    result.add_row("A", 1, 10.0)
+    result.add_row("B", 1, 20.0)
+    result.add_row("A", 2, 30.0)
+    assert result.series("label", "A", "y") == [10.0, 30.0]
+
+
+def test_figure_result_format_table():
+    result = FigureResult("Figure X", "demo", ("col",), notes="hello")
+    result.add_row(1.23456)
+    text = result.format_table()
+    assert "Figure X" in text
+    assert "1.235" in text
+    assert "note: hello" in text
+
+
+# ---------------------------------------------------------------------------
+# Scenario builders
+# ---------------------------------------------------------------------------
+
+
+def test_build_scenario_validates_kind():
+    with pytest.raises(ValueError):
+        build_scenario("nope", experiment_config(), 10)
+
+
+def test_bt_scenario_populated():
+    cluster = build_scenario("bt", experiment_config(), 20)
+    client = cluster.sync_client()
+    assert client.get(TABLE, 5, [PAYLOAD_COLUMN])[PAYLOAD_COLUMN][0]
+
+
+def test_si_scenario_has_index():
+    cluster = build_scenario("si", experiment_config(), 20)
+    client = cluster.sync_client()
+    found = client.get_by_index(TABLE, "sec", sec_value(7), [PAYLOAD_COLUMN])
+    assert list(found) == [7]
+
+
+def test_mv_scenario_view_answers_queries():
+    cluster = build_scenario("mv", experiment_config(), 20)
+    client = cluster.sync_client()
+    rows = client.get_view(VIEW_NAME, sec_value(3), ["B", PAYLOAD_COLUMN])
+    assert [row["B"] for row in rows] == [3]
+    assert rows[0][PAYLOAD_COLUMN] is not None
+
+
+def test_mv_scenario_without_materialized_payload():
+    cluster = build_scenario("mv", experiment_config(), 20,
+                             materialize_payload=False)
+    client = cluster.sync_client()
+    rows = client.get_view(VIEW_NAME, sec_value(3), ["B", PAYLOAD_COLUMN])
+    assert [row["B"] for row in rows] == [3]
+    assert rows[0][PAYLOAD_COLUMN] is None
+
+
+# ---------------------------------------------------------------------------
+# Experiments (quick sizes, robust assertions only)
+# ---------------------------------------------------------------------------
+
+
+def test_fig3_quick_shape(quick):
+    result = fig3_read_latency.run(quick)
+    assert result.column("scenario") == ["BT", "SI", "MV"]
+    (bt,) = result.series("scenario", "BT", "mean_ms")
+    (si,) = result.series("scenario", "SI", "mean_ms")
+    assert si > 2 * bt
+    assert all(v > 0 for v in result.column("mean_ms"))
+
+
+def test_fig5_quick_shape(quick):
+    result = fig5_write_latency.run(quick)
+    (bt,) = result.series("scenario", "BT", "mean_ms")
+    (mv,) = result.series("scenario", "MV", "mean_ms")
+    assert mv > 1.5 * bt
+
+
+def test_fig7_quick_shape(quick):
+    result = fig7_session_guarantees.run(quick)
+    mv = result.series("scenario", "MV", "pair_latency_ms")
+    assert mv[0] >= mv[-1]
+    si = result.series("scenario", "SI", "pair_latency_ms")
+    assert max(si) - min(si) < 0.5
+
+
+def test_fig8_quick_runs_all_widths(quick):
+    result = fig8_update_skew.run(quick)
+    assert result.column("range_width") == list(quick.skew_ranges)
+    assert all(v > 0 for v in result.column("throughput"))
+    narrow = result.rows[0]
+    wide = result.rows[-1]
+    assert narrow[1] < wide[1]  # narrower range -> lower throughput
+
+
+def test_ablation_combined_quick(quick):
+    result = ablations.combined_get_then_put(quick)
+    (separate,) = result.series("variant", "separate", "mean_ms")
+    (combined,) = result.series("variant", "combined", "mean_ms")
+    assert combined < separate
+
+
+def test_crossover_quick(quick):
+    from repro.experiments import crossover
+
+    result = crossover.run(quick, write_fractions=(0.0, 1.0), clients=4)
+    si = {row[1]: row[2] for row in result.rows if row[0] == "SI"}
+    mv = {row[1]: row[2] for row in result.rows if row[0] == "MV"}
+    assert mv[0.0] > si[0.0]   # MV wins pure reads
+    assert si[1.0] > mv[1.0]   # SI wins pure writes
+
+
+def test_mixed_op_fraction_validated():
+    from repro.workloads import mixed_op
+
+    with pytest.raises(ValueError):
+        mixed_op(1.5, None, None)
+
+
+def test_ablation_gc_quick(quick):
+    result = ablations.stale_row_gc(quick)
+    (off_stale,) = result.series("gc", "off", "stale_rows")
+    (on_stale,) = result.series("gc", "on", "stale_rows")
+    assert on_stale < off_stale
+    (on_chain,) = result.series("gc", "on", "max_chain")
+    assert on_chain <= 2
+
+
+def test_quick_params_are_smaller():
+    full = ExperimentParams()
+    quick = full.quick()
+    assert quick.rows < full.rows
+    assert quick.latency_requests < full.latency_requests
+    assert len(quick.client_counts) < len(full.client_counts)
+
+
+def test_fig7_config_has_heavy_tail():
+    config = fig7_config()
+    rng_samples = []
+    import random
+
+    rng = random.Random(0)
+    for _ in range(5000):
+        rng_samples.append(config.propagation_delay.sample(rng))
+    rng_samples.sort()
+    median = rng_samples[len(rng_samples) // 2]
+    p99 = rng_samples[int(len(rng_samples) * 0.99)]
+    assert p99 > 20 * median  # genuinely heavy-tailed
+
+
+def test_cli_main_quick(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--quick", "fig3"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 3" in output
+    assert "BT" in output and "SI" in output and "MV" in output

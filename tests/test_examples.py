@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests keep them from
+bitrotting.  Each example asserts its own expected outcomes internally,
+so success here means the demonstrated behaviour still holds.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "helpdesk_tickets",
+    "session_guarantees",
+    "failure_and_staleness",
+    "orders_join",
+    "skew_and_gc",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert "done" in output.lower()
+
+
+def test_examples_directory_complete():
+    """Every example on disk is covered by this smoke test."""
+    on_disk = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert on_disk == sorted(EXAMPLES)

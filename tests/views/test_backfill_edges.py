@@ -1,0 +1,105 @@
+"""Edge cases for view backfill and multi-view interactions."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.views import ViewDefinition, check_view
+
+from tests.views.conftest import make_config
+
+
+def build():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    return cluster, cluster.sync_client()
+
+
+def backfill(cluster, name):
+    process = cluster.env.process(cluster.view_manager.backfill(name))
+    loaded = cluster.env.run(until=process)
+    cluster.run_until_idle()
+    return loaded
+
+
+def test_backfill_empty_table():
+    cluster, _client = build()
+    cluster.create_view(ViewDefinition("V", "T", "vk"))
+    assert backfill(cluster, "V") == 0
+
+
+def test_backfill_skips_rows_without_view_key():
+    cluster, client = build()
+    client.put("T", 1, {"vk": "a"}, w=3)
+    client.put("T", 2, {"other": "x"}, w=3)
+    client.settle()
+    view = ViewDefinition("LATE", "T", "vk")
+    cluster.create_view(view)
+    assert backfill(cluster, "LATE") == 1
+    assert [r.base_key for r in client.get_view("LATE", "a", ["B"])] == [1]
+    assert check_view(cluster, view) == []
+
+
+def test_backfill_with_materialized_columns_and_tombstones():
+    cluster, client = build()
+    client.put("T", 1, {"vk": "a", "m": "x"}, w=3)
+    client.put("T", 1, {"m": None}, w=3)  # tombstoned materialized cell
+    client.put("T", 2, {"vk": "a", "m": "y"}, w=3)
+    client.settle()
+    view = ViewDefinition("LATE", "T", "vk", ("m",))
+    cluster.create_view(view)
+    assert backfill(cluster, "LATE") == 2
+    rows = {r.base_key: r["m"] for r in client.get_view("LATE", "a", ["m"])}
+    assert rows == {1: None, 2: "y"}
+    assert check_view(cluster, view) == []
+
+
+def test_backfill_with_predicate():
+    cluster, client = build()
+    client.put("T", 1, {"status": "open"}, w=3)
+    client.put("T", 2, {"status": "closed"}, w=3)
+    client.settle()
+    view = ViewDefinition("OPEN", "T", "status",
+                          key_predicate=lambda s: s == "open")
+    cluster.create_view(view)
+    backfill(cluster, "OPEN")
+    assert [r.base_key for r in client.get_view("OPEN", "open", ["B"])] == [1]
+    assert client.get_view("OPEN", "closed", ["B"]) == []
+
+
+def test_backfill_then_incremental_updates_compose():
+    cluster, client = build()
+    for i in range(5):
+        client.put("T", i, {"vk": "old", "m": i}, w=3)
+    client.settle()
+    view = ViewDefinition("LATE", "T", "vk", ("m",))
+    cluster.create_view(view)
+    backfill(cluster, "LATE")
+    # Incremental maintenance continues from the backfilled state.
+    client.put("T", 0, {"vk": "new"})
+    client.put("T", 1, {"m": 100})
+    client.settle()
+    old_rows = {r.base_key: r["m"]
+                for r in client.get_view("LATE", "old", ["m"])}
+    assert old_rows == {1: 100, 2: 2, 3: 3, 4: 4}
+    assert [r["m"] for r in client.get_view("LATE", "new", ["m"])] == [0]
+    assert check_view(cluster, view) == []
+
+
+def test_two_views_one_put_two_propagations():
+    cluster, client = build()
+    cluster.create_view(ViewDefinition("BY_A", "T", "a"))
+    cluster.create_view(ViewDefinition("BY_B", "T", "b"))
+    client.put("T", "k", {"a": "x", "b": "y"}, w=2)
+    client.settle()
+    assert cluster.view_manager.completed_propagations == 2
+    assert [r.base_key for r in client.get_view("BY_A", "x", ["B"])] == ["k"]
+    assert [r.base_key for r in client.get_view("BY_B", "y", ["B"])] == ["k"]
+
+
+def test_put_touching_only_one_views_columns():
+    cluster, client = build()
+    cluster.create_view(ViewDefinition("BY_A", "T", "a"))
+    cluster.create_view(ViewDefinition("BY_B", "T", "b"))
+    client.put("T", "k", {"a": "x"}, w=2)
+    client.settle()
+    assert cluster.view_manager.completed_propagations == 1

@@ -1,0 +1,107 @@
+"""Chaos tests: view maintenance under random node failures.
+
+With at most one of four nodes down at a time (N = 3), every replica set
+keeps a majority, so quorum operations and Algorithm 1/2 must keep
+working.  After the storm ends and anti-entropy repairs the tables, the
+versioned view must satisfy every invariant and match the oracle.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.chaos import ChaosMonkey
+from repro.errors import NodeDownError, QuorumError
+from repro.views import (
+    BaseUpdate,
+    ReferenceViewModel,
+    ViewDefinition,
+    check_view,
+)
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+
+def test_chaos_monkey_validation():
+    cluster = Cluster(make_config())
+    with pytest.raises(ValueError):
+        ChaosMonkey(cluster, max_down=0)
+    with pytest.raises(ValueError):
+        ChaosMonkey(cluster, max_down=4)
+
+
+def test_chaos_monkey_kills_and_recovers():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    monkey = ChaosMonkey(cluster)
+    cluster.run(until=500.0)
+    monkey.stop()
+    cluster.run_until_idle()
+    assert monkey.kills >= 2
+    assert monkey.recoveries == monkey.kills
+    assert all(not node.is_down for node in cluster.nodes)
+
+
+@pytest.mark.parametrize("mode", ["locks", "propagators"])
+def test_view_maintenance_survives_chaos(mode):
+    cluster = Cluster(make_config(propagation_concurrency=mode, seed=23))
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    monkey = ChaosMonkey(cluster)
+    env = cluster.env
+    reference = ReferenceViewModel(VIEW)
+    applied = []
+
+    def workload():
+        """60 updates across 6 rows, retrying around failures like a
+        real application."""
+        clients = {}
+        for i in range(60):
+            key = f"row{i % 6}"
+            column, value = (("vk", f"g{i % 3}") if i % 2 == 0
+                             else ("m", i))
+            ts = (i + 1) * 1_000_000
+            for _attempt in range(12):
+                coordinator_id = (i + _attempt) % 4
+                client = clients.get(coordinator_id)
+                if client is None:
+                    client = cluster.client(coordinator_id=coordinator_id)
+                    clients[coordinator_id] = client
+                try:
+                    yield from client.put("T", key, {column: value}, 2, ts)
+                except (NodeDownError, QuorumError):
+                    yield env.timeout(5.0)
+                    continue
+                applied.append(BaseUpdate(key, column, value, ts))
+                break
+            else:
+                raise AssertionError(f"update {i} never succeeded")
+            yield env.timeout(4.0)
+
+    process = env.process(workload())
+    env.run(until=process)
+    monkey.stop()
+    cluster.run_until_idle()
+    # Heal any replica-level divergence left by the outages.
+    for table in ("T", "V"):
+        repair = cluster.repair_table(table)
+        env.run(until=repair)
+    cluster.run_until_idle()
+
+    for update in applied:
+        reference.propagate(update)
+    violations = check_view(cluster, VIEW, reference)
+    assert violations == [], (mode, monkey.kills, violations[:5])
+    assert monkey.kills >= 1  # the storm actually did something
+
+    # And the view still answers queries: one live row per base row that
+    # the oracle says is in the view (rows that only ever received
+    # materialized updates never enter it).
+    reader = cluster.sync_client()
+    total_rows = sum(
+        len(reader.get_view("V", f"g{g}", ["m"], r=2)) for g in range(3))
+    expected_rows = sum(
+        1 for i in range(6)
+        if reference.live_values_for(f"row{i}") is not None)
+    assert total_rows == expected_rows > 0

@@ -1,0 +1,148 @@
+"""Defensive error paths: corrupted states must fail loudly, not hang."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.common import Cell
+from repro.errors import ViewError
+from repro.views import ViewDefinition, ViewKeyGuess
+from repro.views.maintenance import ViewMaintainer
+from repro.views.read import view_get
+from repro.views.versioned import PHASE_ROW, PHASE_STALE, view_timestamp
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+
+def build():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    return cluster
+
+
+def plant(cluster, view_key, cells):
+    for replica in cluster.replicas_for("V", view_key):
+        replica.engine.apply("V", view_key, cells)
+
+
+def test_pointer_cycle_detected_not_infinite():
+    """A (corrupt) pointer cycle must raise, not walk forever."""
+    cluster = build()
+    # a -> b -> a, neither live.
+    plant(cluster, "a", {("k", "Next"): Cell("b", view_timestamp(10, PHASE_STALE))})
+    plant(cluster, "b", {("k", "Next"): Cell("a", view_timestamp(11, PHASE_STALE))})
+    maintainer = ViewMaintainer(cluster)
+    coordinator = cluster.coordinator(0)
+
+    def proc():
+        with pytest.raises(ViewError):
+            yield from maintainer.get_live_key(
+                coordinator, VIEW, "k", ViewKeyGuess("a", 10))
+
+    process = cluster.env.process(proc())
+    cluster.env.run(until=process)
+
+
+def test_stuck_init_marker_times_out_reader():
+    """An Init marker that never clears must eventually raise, not spin
+    forever."""
+    cluster = build()
+    plant(cluster, "a", {
+        ("k", "Next"): Cell("a", view_timestamp(10, PHASE_ROW)),
+        ("k", "Init"): Cell(True, view_timestamp(10, PHASE_ROW)),
+    })
+    coordinator = cluster.coordinator(0)
+
+    def proc():
+        with pytest.raises(ViewError):
+            yield from view_get(cluster.env, coordinator, VIEW, "a",
+                                ("m",), 2)
+
+    process = cluster.env.process(proc())
+    cluster.env.run(until=process)
+
+
+def test_reader_waits_out_a_clearing_init_marker():
+    """An Init marker that DOES clear releases the spinning reader."""
+    cluster = build()
+    plant(cluster, "a", {
+        ("k", "Next"): Cell("a", view_timestamp(10, PHASE_ROW)),
+        ("k", "Init"): Cell(True, view_timestamp(10, PHASE_ROW)),
+        ("k", "m"): Cell("x", view_timestamp(10, PHASE_ROW)),
+    })
+    coordinator = cluster.coordinator(0)
+    env = cluster.env
+    outcome = {}
+
+    def reader():
+        rows = yield from view_get(env, coordinator, VIEW, "a", ("m",), 2)
+        outcome["rows"] = rows
+        outcome["at"] = env.now
+
+    def clearer():
+        yield env.timeout(5.0)
+        plant(cluster, "a", {
+            ("k", "Init"): Cell.make(None, view_timestamp(10, PHASE_STALE)),
+        })
+
+    rp = env.process(reader())
+    env.process(clearer())
+    env.run(until=rp)
+    cluster.run_until_idle()
+    assert outcome["at"] >= 5.0
+    assert [r["m"] for r in outcome["rows"]] == ["x"]
+
+
+def test_propagation_gives_up_loudly_after_max_rounds():
+    """A guess set that can never succeed must abort with a clear error
+    after propagation_max_rounds, not hang."""
+    from repro.errors import ProcessError
+
+    cluster = Cluster(make_config(propagation_max_rounds=3,
+                                  propagation_retry_backoff=0.1))
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    manager = cluster.view_manager
+    coordinator = cluster.coordinator(0)
+    # A guess referencing a view key that will never exist, with no
+    # refresh able to help (the base row has nothing either).
+    hopeless = [ViewKeyGuess("never-there", 10)]
+    process = cluster.env.process(manager._propagate_with_retries(
+        coordinator, VIEW, "T", "k", hopeless, {"m": "x"}, 10))
+    with pytest.raises(Exception):
+        cluster.env.run(until=process)
+
+
+# ---------------------------------------------------------------------------
+# Merkle comparison properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.dictionaries(st.integers(0, 60),
+                         st.integers(0, 5), min_size=1, max_size=30),
+    mutations=st.sets(st.integers(0, 60), max_size=5),
+)
+def test_merkle_diff_detects_exactly_the_divergent_buckets(rows, mutations):
+    from repro.cluster.merkle import MerkleTree, differing_buckets
+
+    depth = 5
+    a, b = MerkleTree(depth), MerkleTree(depth)
+    for key in sorted(rows):
+        cells = {"c": Cell.make(rows[key], 1)}
+        a.add_row(key, cells)
+        if key in mutations:
+            b.add_row(key, {"c": Cell.make(rows[key] + 1000, 2)})
+        else:
+            b.add_row(key, cells)
+    a.seal()
+    b.seal()
+    found = set(differing_buckets(a, b))
+    expected = {MerkleTree.bucket_of(key, depth)
+                for key in mutations if key in rows}
+    assert found == expected

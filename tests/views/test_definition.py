@@ -1,0 +1,80 @@
+"""Tests for ViewDefinition validation and helpers."""
+
+import pytest
+
+from repro.errors import ViewDefinitionError
+from repro.views import ViewDefinition
+
+
+def test_minimal_definition():
+    view = ViewDefinition("V", "T", "key_col")
+    assert view.materialized_columns == ()
+    assert view.watched_columns == frozenset({"key_col"})
+
+
+def test_materialized_columns_watched():
+    view = ViewDefinition("V", "T", "k", ("a", "b"))
+    assert view.watched_columns == frozenset({"k", "a", "b"})
+    assert view.is_materialized("a")
+    assert not view.is_materialized("k")
+    assert not view.is_materialized("other")
+
+
+def test_affects():
+    view = ViewDefinition("V", "T", "k", ("a",))
+    assert view.affects(["k"])
+    assert view.affects(["a", "unrelated"])
+    assert not view.affects(["unrelated"])
+    assert not view.affects([])
+
+
+def test_empty_names_rejected():
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("", "T", "k")
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("V", "", "k")
+
+
+def test_view_cannot_shadow_base_table():
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("T", "T", "k")
+
+
+def test_view_key_cannot_be_materialized():
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("V", "T", "k", ("k",))
+
+
+def test_duplicate_materialized_rejected():
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("V", "T", "k", ("a", "a"))
+
+
+@pytest.mark.parametrize("reserved", ["B", "Next", "Init"])
+def test_reserved_column_names_rejected(reserved):
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("V", "T", reserved)
+    with pytest.raises(ViewDefinitionError):
+        ViewDefinition("V", "T", "k", (reserved,))
+
+
+def test_accepts_key_default():
+    view = ViewDefinition("V", "T", "k")
+    assert view.accepts_key("anything")
+    assert view.accepts_key(0)
+    assert not view.accepts_key(None)
+
+
+def test_accepts_key_with_predicate():
+    view = ViewDefinition("V", "T", "k",
+                          key_predicate=lambda v: v.startswith("a"))
+    assert view.accepts_key("apple")
+    assert not view.accepts_key("banana")
+    assert not view.accepts_key(None)
+
+
+def test_definitions_hashable_and_comparable():
+    a = ViewDefinition("V", "T", "k", ("a",))
+    b = ViewDefinition("V", "T", "k", ("a",))
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,103 @@
+"""Property-based tests: GC interleaved with random maintenance.
+
+The collector must preserve every Definition 3 invariant and the
+client-visible view contents no matter how collection passes interleave
+with updates.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.views import (
+    StaleRowCollector,
+    ViewDefinition,
+    check_view,
+    collect_stale_rows,
+    compute_stats,
+)
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+FUTURE_CUTOFF = 10 ** 18
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["k1", "k2"]),
+            st.one_of(
+                st.tuples(st.just("vk"),
+                          st.sampled_from(["a", "b", "c", None])),
+                st.tuples(st.just("m"), st.sampled_from(["x", "y"])),
+            ),
+            st.booleans(),  # run a GC pass after this op?
+        ),
+        min_size=1, max_size=10),
+)
+def test_gc_between_random_updates_preserves_semantics(ops):
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    client = cluster.sync_client()
+
+    # Mirror of the expected client-visible state: per base key, the
+    # latest vk and m values (ops are applied sequentially and settled).
+    latest = {}
+    for index, (key, (column, value), do_gc) in enumerate(ops):
+        ts = (index + 1) * 1_000_000
+        client.put("T", key, {column: value}, w=2, timestamp=ts)
+        client.settle()
+        latest.setdefault(key, {})[column] = value
+        if do_gc:
+            process = cluster.env.process(
+                collect_stale_rows(cluster, VIEW, FUTURE_CUTOFF))
+            cluster.env.run(until=process)
+            cluster.run_until_idle()
+
+    # Structural invariants always hold (no oracle: GC legitimately
+    # removes rows the Definition 3 bookkeeping would otherwise expect).
+    violations = check_view(cluster, VIEW)
+    assert violations == [], violations
+
+    # Client-visible contents match the sequential mirror.
+    for key, columns in latest.items():
+        expected_vk = columns.get("vk")
+        expected_m = columns.get("m")
+        if expected_vk is None:
+            continue  # row absent or never keyed; nothing to look up
+        rows = [r for r in client.get_view("V", expected_vk, ["m"], r=2)
+                if r.base_key == key]
+        assert len(rows) == 1, (key, expected_vk, rows)
+        assert rows[0]["m"] == expected_m
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rekeys=st.integers(min_value=3, max_value=12))
+def test_periodic_collector_eventually_bounds_garbage(rekeys):
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    collector = StaleRowCollector(cluster, ["V"], interval=30.0,
+                                  horizon_ms=5.0)
+    client = cluster.sync_client()
+    for i in range(rekeys):
+        client.put("T", "hot", {"vk": f"g{i}", "m": i})
+    # NOTE: settle()/run_until_idle() never returns while a periodic
+    # service (the collector) is alive; bounded runs instead.  This
+    # window also gives the collector horizon-covered passes.
+    cluster.run(until=cluster.env.now + 400.0)
+    collector.stop()
+    cluster.run_until_idle()
+    stats = compute_stats(cluster, VIEW)
+    # All that may remain: the live row, the anchor, and rows younger
+    # than the horizon at the last pass (none here: workload quiesced).
+    assert stats.stale_rows <= 2
+    assert check_view(cluster, VIEW) == []
+    (row,) = client.get_view("V", f"g{rekeys - 1}", ["m"])
+    assert row["m"] == rekeys - 1

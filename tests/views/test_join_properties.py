@@ -1,0 +1,85 @@
+"""Property-based tests for equi-join views against a logical oracle."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.views import (
+    BaseUpdate,
+    JoinSide,
+    JoinViewDefinition,
+    LogicalBaseTable,
+    check_view,
+)
+
+from tests.views.conftest import make_config
+
+JOIN = JoinViewDefinition(
+    "J",
+    left=JoinSide("L", "jk", ("lv",)),
+    right=JoinSide("R", "jk", ("rv",)),
+)
+
+JOIN_KEYS = ["a", "b", None]
+
+
+def op_strategy(table, value_col, value_prefix):
+    return st.tuples(
+        st.just(table),
+        st.sampled_from(["l1", "l2"]),
+        st.one_of(
+            st.tuples(st.just("jk"), st.sampled_from(JOIN_KEYS)),
+            st.tuples(st.just(value_col),
+                      st.sampled_from([f"{value_prefix}1",
+                                       f"{value_prefix}2", None])),
+        ),
+    )
+
+
+def expected_join(left_table: LogicalBaseTable, right_table: LogicalBaseTable,
+                  join_key):
+    """Oracle: the matched pairs for one join key value."""
+    left_matches = [
+        key for key in left_table.keys()
+        if (not left_table.cell(key, "jk").is_null
+            and left_table.cell(key, "jk").value == join_key)
+    ]
+    right_matches = [
+        key for key in right_table.keys()
+        if (not right_table.cell(key, "jk").is_null
+            and right_table.cell(key, "jk").value == join_key)
+    ]
+    return sorted((lk, rk) for lk in left_matches for rk in right_matches)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.one_of(op_strategy("L", "lv", "x"), op_strategy("R", "rv", "y")),
+        min_size=1, max_size=12),
+)
+def test_join_reads_match_relational_oracle(ops):
+    cluster = Cluster(make_config())
+    cluster.create_table("L")
+    cluster.create_table("R")
+    cluster.create_join_view(JOIN)
+    client = cluster.sync_client()
+    left_oracle = LogicalBaseTable()
+    right_oracle = LogicalBaseTable()
+
+    for index, (table, key, (column, value)) in enumerate(ops):
+        ts = (index + 1) * 1_000_000
+        client.put(table, key, {column: value}, w=2, timestamp=ts)
+        oracle = left_oracle if table == "L" else right_oracle
+        oracle.apply(BaseUpdate(key, column, value, ts))
+    client.settle()
+
+    for join_key in ("a", "b"):
+        results = client.get_join("J", join_key, ["lv"], ["rv"])
+        actual = sorted((r.left_key, r.right_key) for r in results)
+        assert actual == expected_join(left_oracle, right_oracle, join_key)
+
+    left, right = JOIN.child_definitions()
+    assert check_view(cluster, left) == []
+    assert check_view(cluster, right) == []

@@ -1,0 +1,177 @@
+"""Tests for the propagation lock service (Section IV-F)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.views import LockService, ReadWriteLock
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_shared_locks_coexist(env):
+    lock = ReadWriteLock(env)
+    granted = []
+
+    def reader(name):
+        yield lock.acquire(exclusive=False)
+        granted.append((name, env.now))
+        yield env.timeout(5.0)
+        lock.release(exclusive=False)
+
+    env.process(reader("a"))
+    env.process(reader("b"))
+    env.run()
+    assert granted == [("a", 0.0), ("b", 0.0)]
+
+
+def test_exclusive_excludes_everyone(env):
+    lock = ReadWriteLock(env)
+    log = []
+
+    def writer():
+        yield lock.acquire(exclusive=True)
+        log.append(("w", env.now))
+        yield env.timeout(5.0)
+        lock.release(exclusive=True)
+
+    def reader():
+        yield env.timeout(1.0)
+        yield lock.acquire(exclusive=False)
+        log.append(("r", env.now))
+        lock.release(exclusive=False)
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    assert log == [("w", 0.0), ("r", 5.0)]
+
+
+def test_writer_waits_for_readers(env):
+    lock = ReadWriteLock(env)
+    log = []
+
+    def reader():
+        yield lock.acquire(exclusive=False)
+        yield env.timeout(3.0)
+        lock.release(exclusive=False)
+
+    def writer():
+        yield env.timeout(1.0)
+        yield lock.acquire(exclusive=True)
+        log.append(env.now)
+        lock.release(exclusive=True)
+
+    env.process(reader())
+    env.process(writer())
+    env.run()
+    assert log == [3.0]
+
+
+def test_fifo_fairness_prevents_writer_starvation(env):
+    """A queued writer blocks readers that arrive after it."""
+    lock = ReadWriteLock(env)
+    log = []
+
+    def early_reader():
+        yield lock.acquire(exclusive=False)
+        yield env.timeout(10.0)
+        lock.release(exclusive=False)
+
+    def writer():
+        yield env.timeout(1.0)
+        yield lock.acquire(exclusive=True)
+        log.append(("w", env.now))
+        yield env.timeout(5.0)
+        lock.release(exclusive=True)
+
+    def late_reader():
+        yield env.timeout(2.0)
+        yield lock.acquire(exclusive=False)
+        log.append(("r", env.now))
+        lock.release(exclusive=False)
+
+    env.process(early_reader())
+    env.process(writer())
+    env.process(late_reader())
+    env.run()
+    assert log == [("w", 10.0), ("r", 15.0)]
+
+
+def test_release_without_hold_rejected(env):
+    lock = ReadWriteLock(env)
+    with pytest.raises(SimulationError):
+        lock.release(exclusive=True)
+    with pytest.raises(SimulationError):
+        lock.release(exclusive=False)
+
+
+def test_lock_service_keys_are_independent(env):
+    service = LockService(env)
+    log = []
+
+    def proc(view, key):
+        yield from service.acquire(view, key, exclusive=True)
+        log.append((view, key, env.now))
+        yield env.timeout(5.0)
+        service.release(view, key, exclusive=True)
+
+    env.process(proc("V", "k1"))
+    env.process(proc("V", "k2"))
+    env.process(proc("W", "k1"))
+    env.run()
+    assert [entry[2] for entry in log] == [0.0, 0.0, 0.0]
+
+
+def test_lock_service_same_key_serializes(env):
+    service = LockService(env)
+    log = []
+
+    def proc(name):
+        yield from service.acquire("V", "k", exclusive=True)
+        log.append((name, env.now))
+        yield env.timeout(2.0)
+        service.release("V", "k", exclusive=True)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert log == [("a", 0.0), ("b", 2.0)]
+    assert service.contentions == 1
+    assert service.acquisitions == 2
+
+
+def test_lock_service_latency_charged(env):
+    service = LockService(env, latency=1.0)
+    log = []
+
+    def proc():
+        yield from service.acquire("V", "k", exclusive=True)
+        log.append(env.now)
+        service.release("V", "k", exclusive=True)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    # Acquire pays one round trip; release is fire-and-forget.
+    assert log == [1.0, 1.0]
+
+
+def test_lock_service_garbage_collects_idle_locks(env):
+    service = LockService(env)
+
+    def proc():
+        yield from service.acquire("V", "k", exclusive=False)
+        service.release("V", "k", exclusive=False)
+
+    env.process(proc())
+    env.run()
+    assert service.active_locks == 0
+
+
+def test_lock_service_rejects_negative_latency(env):
+    with pytest.raises(ValueError):
+        LockService(env, latency=-1.0)

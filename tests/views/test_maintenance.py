@@ -1,0 +1,349 @@
+"""Unit tests for Algorithms 2-3: PropagateUpdate / GetLiveKey.
+
+These drive the maintainer directly (sequential propagation, hand-picked
+guesses and orders), covering every case of the Theorem 1 proof plus the
+extensions (deletions, multi-column updates, first inserts).
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import PropagationError
+from repro.views import NULL_VIEW_KEY, ViewDefinition, check_view
+
+from tests.views.conftest import DirectDriver, make_config
+
+VIEW = ViewDefinition("V", "B", "vk", ("m",))
+
+
+@pytest.fixture
+def driver():
+    cluster = Cluster(make_config())
+    cluster.create_table("B")
+    cluster.create_table("V")
+    return DirectDriver(cluster, VIEW)
+
+
+def first_insert(driver, key="k", view_key="a", ts=10):
+    """Propagate a first view-key write through the pristine NULL anchor."""
+    driver.base_put(key, {"vk": view_key}, ts)
+    driver.propagate(key, driver.guess(None, -1, virtual=True),
+                     {"vk": view_key}, ts)
+
+
+# ---------------------------------------------------------------------------
+# First insert and the NULL anchor
+# ---------------------------------------------------------------------------
+
+
+def test_first_insert_creates_live_row(driver):
+    first_insert(driver, view_key="a", ts=10)
+    rows = driver.view_row("a")
+    assert rows["k"].is_live
+    assert rows["k"].base_ts == 10
+
+
+def test_first_insert_creates_null_anchor_stale_row(driver):
+    first_insert(driver, view_key="a", ts=10)
+    anchor = driver.view_row(NULL_VIEW_KEY)
+    assert not anchor["k"].is_live
+    assert anchor["k"].next_key == "a"
+
+
+def test_structure_valid_after_first_insert(driver):
+    first_insert(driver)
+    assert check_view(driver.cluster, VIEW) == []
+
+
+# ---------------------------------------------------------------------------
+# Case 1: view-materialized column updates
+# ---------------------------------------------------------------------------
+
+
+def test_materialized_update_lands_on_live_row(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"m": "x"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"m": "x"}, 20)
+    results = driver.get_view("a", ["m"])
+    assert [(r.base_key, r["m"]) for r in results] == [("k", "x")]
+
+
+def test_materialized_update_older_than_cell_is_noop(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"m": "newer"}, 30)
+    driver.propagate("k", driver.guess("a", 10), {"m": "newer"}, 30)
+    driver.base_put("k", {"m": "older"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"m": "older"}, 20)
+    results = driver.get_view("a", ["m"])
+    assert results[0]["m"] == "newer"
+
+
+def test_materialized_update_follows_chain_to_live(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "b"}, 20)
+    # Propagate a materialized update whose guess is the stale key "a".
+    driver.base_put("k", {"m": "x"}, 30)
+    driver.propagate("k", driver.guess("a", 10), {"m": "x"}, 30)
+    assert driver.get_view("b", ["m"])[0]["m"] == "x"
+
+
+# ---------------------------------------------------------------------------
+# Case 2a: knew is a brand-new view key
+# ---------------------------------------------------------------------------
+
+
+def test_2a_newer_update_moves_live_row_and_copies(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"m": "payload"}, 11)
+    driver.propagate("k", driver.guess("a", 10), {"m": "payload"}, 11)
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "b"}, 20)
+
+    assert driver.view_row("b")["k"].is_live
+    old = driver.view_row("a")["k"]
+    assert not old.is_live and old.next_key == "b"
+    # CopyData carried the materialized value to the new live row.
+    assert driver.get_view("b", ["m"])[0]["m"] == "payload"
+    assert driver.get_view("a", ["m"]) == []
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_2a_older_update_becomes_stale_row(driver):
+    """An out-of-order older view-key update must not displace the live
+    row; it becomes a stale row pointing at it."""
+    first_insert(driver, view_key="winner", ts=20)
+    driver.base_put("k", {"vk": "loser"}, 10)
+    driver.propagate("k", driver.guess(None, -1, virtual=True),
+                     {"vk": "loser"}, 10)
+    assert driver.view_row("winner")["k"].is_live
+    loser = driver.view_row("loser")["k"]
+    assert not loser.is_live and loser.next_key == "winner"
+    assert check_view(driver.cluster, VIEW) == []
+
+
+# ---------------------------------------------------------------------------
+# Case 2b: knew already exists as a stale key
+# ---------------------------------------------------------------------------
+
+
+def test_2b_older_update_refreshes_stale_row(driver):
+    # a(10) -> b(20): "a" is stale.  Now update vk="a" at ts=15 propagates.
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "b"}, 20)
+    driver.base_put("k", {"vk": "a"}, 15)
+    driver.propagate("k", driver.guess("b", 20), {"vk": "a"}, 15)
+
+    stale = driver.view_row("a")["k"]
+    assert not stale.is_live
+    assert stale.next_key == "b"       # still points to the live row
+    # Alg. 2 line 8 stamped the stale row with the superseding update's
+    # timestamp (20) when "b" took over; the older ts=15 re-put at line 4
+    # must NOT disturb it.
+    assert stale.base_ts == 20
+    assert driver.view_row("b")["k"].is_live
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_2b_newer_update_revives_stale_row_to_live(driver):
+    # a(10) -> b(20), then vk="a" again at ts=30: "a" becomes live again.
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"m": "data"}, 12)
+    driver.propagate("k", driver.guess("a", 10), {"m": "data"}, 12)
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "b"}, 20)
+    driver.base_put("k", {"vk": "a"}, 30)
+    driver.propagate("k", driver.guess("b", 20), {"vk": "a"}, 30)
+
+    revived = driver.view_row("a")["k"]
+    assert revived.is_live and revived.base_ts == 30
+    old = driver.view_row("b")["k"]
+    assert not old.is_live and old.next_key == "a"
+    # Materialized data survived two moves.
+    assert driver.get_view("a", ["m"])[0]["m"] == "data"
+    assert check_view(driver.cluster, VIEW) == []
+
+
+# ---------------------------------------------------------------------------
+# Case 2c: knew is the live key
+# ---------------------------------------------------------------------------
+
+
+def test_2c_same_key_update_refreshes_timestamp(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": "a"}, 25)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "a"}, 25)
+    live = driver.view_row("a")["k"]
+    assert live.is_live and live.base_ts == 25
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_2c_older_same_key_update_is_noop(driver):
+    first_insert(driver, view_key="a", ts=30)
+    driver.base_put("k", {"vk": "a"}, 20)
+    driver.propagate("k", driver.guess("a", 20), {"vk": "a"}, 20)
+    live = driver.view_row("a")["k"]
+    assert live.is_live and live.base_ts == 30
+
+
+# ---------------------------------------------------------------------------
+# Deletions (view-key NULL)
+# ---------------------------------------------------------------------------
+
+
+def test_deletion_removes_row_from_view(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": None}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": None}, 20)
+    assert driver.get_view("a", ["m"]) == []
+    # The old row is a stale row pointing at the NULL anchor.
+    old = driver.view_row("a")["k"]
+    assert not old.is_live and old.next_key == NULL_VIEW_KEY
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_resurrection_after_deletion_preserves_data(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"m": "kept"}, 11)
+    driver.propagate("k", driver.guess("a", 10), {"m": "kept"}, 11)
+    driver.base_put("k", {"vk": None}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": None}, 20)
+    driver.base_put("k", {"vk": "c"}, 30)
+    driver.propagate("k", driver.guess(None, 20), {"vk": "c"}, 30)
+    assert driver.get_view("c", ["m"])[0]["m"] == "kept"
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_out_of_order_deletion_is_superseded(driver):
+    """Deletion at ts=15 propagates after a newer assignment at ts=20:
+    the live row must remain at the newer key."""
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess("a", 10), {"vk": "b"}, 20)
+    driver.base_put("k", {"vk": None}, 15)
+    driver.propagate("k", driver.guess("b", 20), {"vk": None}, 15)
+    assert driver.view_row("b")["k"].is_live
+    anchor = driver.view_row(NULL_VIEW_KEY)["k"]
+    assert not anchor.is_live
+    assert check_view(driver.cluster, VIEW) == []
+
+
+# ---------------------------------------------------------------------------
+# Guess failures (Algorithm 3)
+# ---------------------------------------------------------------------------
+
+
+def test_unpropagated_guess_fails(driver):
+    first_insert(driver, view_key="a", ts=10)
+    with pytest.raises(PropagationError):
+        driver.propagate("k", driver.guess("never-propagated", 15),
+                         {"m": "x"}, 20)
+
+
+def test_tombstone_guess_requires_anchor_row(driver):
+    """A NULL guess written by an unpropagated deletion must fail while no
+    anchor row exists, not silently start a fresh chain."""
+    # vk=a@10 and its deletion @20 are both in the base, NEITHER
+    # propagated, so the view (and the NULL anchor) are empty.
+    driver.base_put("k", {"vk": "a"}, 10)
+    driver.base_put("k", {"vk": None}, 20)
+    with pytest.raises(PropagationError):
+        driver.propagate("k", driver.guess(None, 20), {"vk": "c"}, 30)
+
+
+def test_tombstone_guess_follows_existing_anchor(driver):
+    """Once the anchor row exists, a tombstone NULL guess is a valid chain
+    entry point: GetLiveKey walks from the anchor to the live row."""
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": None}, 20)   # deletion, not yet propagated
+    driver.base_put("k", {"vk": "c"}, 30)
+    driver.propagate("k", driver.guess(None, 20), {"vk": "c"}, 30)
+    assert driver.view_row("c")["k"].is_live
+    assert not driver.view_row("a")["k"].is_live
+
+
+def test_pristine_null_guess_succeeds_only_when_nothing_propagated(driver):
+    first_insert(driver, view_key="a", ts=10)
+    # Now a never-written NULL guess must follow the anchor chain rather
+    # than creating a second live row.
+    driver.base_put("k", {"vk": "b"}, 20)
+    driver.propagate("k", driver.guess(None, -1, virtual=True),
+                     {"vk": "b"}, 20)
+    assert driver.view_row("b")["k"].is_live
+    assert not driver.view_row("a")["k"].is_live
+    assert check_view(driver.cluster, VIEW) == []
+
+
+# ---------------------------------------------------------------------------
+# Chain traversal
+# ---------------------------------------------------------------------------
+
+
+def test_long_chain_resolves(driver):
+    first_insert(driver, view_key="k0", ts=10)
+    for i in range(1, 6):
+        driver.base_put("k", {"vk": f"k{i}"}, 10 + i)
+        driver.propagate("k", driver.guess(f"k{i-1}", 10 + i - 1),
+                         {"vk": f"k{i}"}, 10 + i)
+    # Propagate a materialized update using the OLDEST key as the guess:
+    # GetLiveKey must walk the whole chain.
+    hops_before = driver.maintainer.metrics.chain_hops
+    driver.base_put("k", {"m": "x"}, 50)
+    driver.propagate("k", driver.guess("k0", 10), {"m": "x"}, 50)
+    assert driver.get_view("k5", ["m"])[0]["m"] == "x"
+    assert driver.maintainer.metrics.chain_hops - hops_before >= 2
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_example_2_both_propagation_orders_converge():
+    """Paper Example 2 / Figure 2: two concurrent reassignments of ticket
+    2 (kmsalem -> rliu @t1, kmsalem -> cjin @t2, t2 > t1) propagate in
+    either order; both produce the Figure 2 structure."""
+    for order in ("first-then-second", "second-then-first"):
+        cluster = Cluster(make_config())
+        cluster.create_table("B")
+        cluster.create_table("V")
+        driver = DirectDriver(cluster, VIEW)
+        first_insert(driver, key=2, view_key="kmsalem", ts=10)
+        driver.base_put(2, {"m": "open"}, 11)
+        driver.propagate(2, driver.guess("kmsalem", 10), {"m": "open"}, 11)
+
+        # Both clients read "kmsalem" as the old view key before updating.
+        driver.base_put(2, {"vk": "rliu"}, 20)
+        driver.base_put(2, {"vk": "cjin"}, 30)
+        guess = driver.guess("kmsalem", 10)
+        if order == "first-then-second":
+            driver.propagate(2, guess, {"vk": "rliu"}, 20)
+            driver.propagate(2, driver.guess("rliu", 20), {"vk": "cjin"}, 30)
+        else:
+            driver.propagate(2, guess, {"vk": "cjin"}, 30)
+            driver.propagate(2, guess, {"vk": "rliu"}, 20)
+
+        # Figure 2: cjin live with the data; kmsalem and rliu stale.
+        assert driver.view_row("cjin")[2].is_live
+        assert not driver.view_row("rliu")[2].is_live
+        assert not driver.view_row("kmsalem")[2].is_live
+        assert driver.get_view("cjin", ["m"])[0]["m"] == "open"
+        assert driver.get_view("rliu", ["m"]) == []
+        assert driver.get_view("kmsalem", ["m"]) == []
+        assert check_view(cluster, VIEW) == [], order
+
+
+def test_multi_column_put_propagates_together(driver):
+    driver.base_put("k", {"vk": "a", "m": "both"}, 10)
+    driver.propagate("k", driver.guess(None, -1, virtual=True),
+                     {"vk": "a", "m": "both"}, 10)
+    result = driver.get_view("a", ["m"])[0]
+    assert result["m"] == "both"
+    assert check_view(driver.cluster, VIEW) == []
+
+
+def test_propagation_is_idempotent(driver):
+    first_insert(driver, view_key="a", ts=10)
+    driver.base_put("k", {"vk": "b", "m": "x"}, 20)
+    for _ in range(3):
+        driver.propagate("k", driver.guess("a", 10), {"vk": "b", "m": "x"}, 20)
+    assert driver.view_row("b")["k"].is_live
+    assert driver.get_view("b", ["m"])[0]["m"] == "x"
+    assert check_view(driver.cluster, VIEW) == []

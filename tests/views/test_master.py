@@ -1,0 +1,195 @@
+"""Tests for the PNUTS-style master-based baseline (paper §IV-A)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import NodeDownError, NoSuchViewError, ViewDefinitionError
+from repro.views import ViewDefinition
+from repro.views.master import MasterBasedViews
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+
+def build():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    masters = MasterBasedViews(cluster)
+    masters.register(VIEW)
+    return cluster, masters
+
+
+def run(cluster, generator):
+    process = cluster.env.process(generator)
+    result = cluster.env.run(until=process)
+    return result
+
+
+def view_rows(cluster, masters, view_key, columns=("m",), r=2):
+    coordinator = cluster.coordinator(0)
+    return run(cluster, masters.view_get(coordinator, "V", view_key,
+                                         columns, r))
+
+
+# ---------------------------------------------------------------------------
+# Registry / routing
+# ---------------------------------------------------------------------------
+
+
+def test_register_requires_base_table():
+    cluster = Cluster(make_config())
+    masters = MasterBasedViews(cluster)
+    with pytest.raises(ViewDefinitionError):
+        masters.register(ViewDefinition("V", "MISSING", "vk"))
+
+
+def test_unknown_view_rejected():
+    cluster, masters = build()
+    with pytest.raises(NoSuchViewError):
+        masters.view("NOPE")
+
+
+def test_master_assignment_is_stable():
+    cluster, masters = build()
+    for key in range(20):
+        assert masters.master_of("T", key) == masters.master_of("T", key)
+
+
+# ---------------------------------------------------------------------------
+# Maintenance semantics
+# ---------------------------------------------------------------------------
+
+
+def test_insert_and_read():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a", "m": "x"}, 2))
+    cluster.run_until_idle()
+    rows = view_rows(cluster, masters, "a")
+    assert [(r.base_key, r["m"]) for r in rows] == [("k", "x")]
+
+
+def test_key_move_leaves_no_stale_rows():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a", "m": "x"}, 2))
+    run(cluster, masters.put("T", "k", {"vk": "b"}, 2))
+    cluster.run_until_idle()
+    assert view_rows(cluster, masters, "a") == []
+    rows = view_rows(cluster, masters, "b")
+    assert [(r.base_key, r["m"]) for r in rows] == [("k", "x")]
+    # The old wide row is fully tombstoned: no stale entries at all.
+    from repro.views import collect_entries
+
+    per_base = collect_entries(cluster, VIEW)
+    assert set(per_base.get("k", {})) == {"b"}
+
+
+def test_deletion_and_resurrection():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a", "m": "kept"}, 2))
+    run(cluster, masters.put("T", "k", {"vk": None}, 2))
+    cluster.run_until_idle()
+    assert view_rows(cluster, masters, "a") == []
+    run(cluster, masters.put("T", "k", {"vk": "c"}, 2))
+    cluster.run_until_idle()
+    rows = view_rows(cluster, masters, "c")
+    assert [r.base_key for r in rows] == ["k"]
+    # Materialized data from before the deletion is gone (the master
+    # tombstoned the old row); this baseline trades that for simplicity.
+    assert rows[0]["m"] is None
+
+
+def test_materialized_update_in_place():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a", "m": 1}, 2))
+    run(cluster, masters.put("T", "k", {"m": 2}, 2))
+    cluster.run_until_idle()
+    assert view_rows(cluster, masters, "a")[0]["m"] == 2
+
+
+def test_master_serializes_concurrent_clients():
+    """Two concurrent updates to one row are ordered by master arrival;
+    the view reflects exactly the later arrival (timeline consistency)."""
+    cluster, masters = build()
+    env = cluster.env
+    pa = env.process(masters.put("T", "k", {"vk": "first"}, 2))
+
+    def delayed():
+        yield env.timeout(0.01)
+        ts = yield from masters.put("T", "k", {"vk": "second"}, 2)
+        return ts
+
+    pb = env.process(delayed())
+    env.run(until=pa)
+    env.run(until=pb)
+    cluster.run_until_idle()
+    assert view_rows(cluster, masters, "first", ("B",)) == []
+    assert [r.base_key for r in view_rows(cluster, masters, "second",
+                                          ("B",))] == ["k"]
+
+
+def test_base_table_agrees_with_view():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a"}, 2))
+    run(cluster, masters.put("T", "k", {"vk": "b"}, 2))
+    cluster.run_until_idle()
+    reader = cluster.sync_client()
+    assert reader.get("T", "k", ["vk"], r=3)["vk"][0] == "b"
+
+
+# ---------------------------------------------------------------------------
+# The availability trade-off (why the paper rejected this design)
+# ---------------------------------------------------------------------------
+
+
+def test_writes_fail_when_master_down():
+    cluster, masters = build()
+    run(cluster, masters.put("T", "k", {"vk": "a"}, 2))
+    cluster.run_until_idle()
+    master_id = masters.master_of("T", "k")
+    cluster.fail_node(master_id)
+    with pytest.raises(NodeDownError):
+        run(cluster, masters.put("T", "k", {"vk": "b"}, 2))
+    cluster.recover_node(master_id)
+    cluster.run_until_idle()
+
+
+def test_decentralized_design_survives_the_same_failure():
+    """The contrast the paper cares about: with coordinator-driven
+    propagation, the same single-node failure does not block writes."""
+    config = make_config()
+    cluster = Cluster(config)
+    cluster.create_table("T")
+    cluster.create_view(ViewDefinition("V2", "T", "vk"))
+    masters = MasterBasedViews(cluster)  # only used to find the master
+    masters_view = ViewDefinition("V3", "T", "vk")
+    master_id = masters.master_of("T", "k")
+    cluster.fail_node(master_id)
+    alive = next(n.node_id for n in cluster.nodes
+                 if n.node_id != master_id)
+    client = cluster.sync_client(coordinator_id=alive)
+    client.put("T", "k", {"vk": "a"}, w=2)   # just works
+    client.settle()
+    rows = client.get_view("V2", "a", ["B"], r=2)
+    assert [r.base_key for r in rows] == ["k"]
+    cluster.recover_node(master_id)
+    cluster.run_until_idle()
+
+
+def test_rows_mastered_elsewhere_unaffected():
+    cluster, masters = build()
+    # Find two keys with different masters.
+    key_a, key_b = None, None
+    for key in range(50):
+        if key_a is None:
+            key_a = key
+        elif masters.master_of("T", key) != masters.master_of("T", key_a):
+            key_b = key
+            break
+    assert key_b is not None
+    cluster.fail_node(masters.master_of("T", key_a))
+    run(cluster, masters.put("T", key_b, {"vk": "ok"}, 2))
+    cluster.run_until_idle()
+    assert [r.base_key for r in view_rows(cluster, masters, "ok", ("B",))] \
+        == [key_b]
+    cluster.recover_node(masters.master_of("T", key_a))

@@ -1,0 +1,194 @@
+"""Tests for the reference model (executable Definitions 1-3)."""
+
+from repro.common import Cell
+from repro.views import (
+    BaseUpdate,
+    LogicalBaseTable,
+    NULL_VIEW_KEY,
+    ReferenceViewModel,
+    ViewDefinition,
+    expected_view_rows,
+)
+
+VIEW = ViewDefinition("V", "B", "vk", ("m1", "m2"))
+
+
+def table_with(*updates):
+    table = LogicalBaseTable()
+    for update in updates:
+        table.apply(BaseUpdate(*update))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# LogicalBaseTable
+# ---------------------------------------------------------------------------
+
+
+def test_logical_table_lww():
+    table = table_with(("k", "c", "new", 20), ("k", "c", "old", 10))
+    assert table.cell("k", "c").value == "new"
+
+
+def test_logical_table_tombstone():
+    table = table_with(("k", "c", "v", 10), ("k", "c", None, 20))
+    assert table.cell("k", "c").is_null
+    assert table.cell("k", "c").timestamp == 20
+
+
+def test_logical_table_copy_independent():
+    table = table_with(("k", "c", "v", 10))
+    clone = table.copy()
+    clone.apply(BaseUpdate("k", "c", "w", 20))
+    assert table.cell("k", "c").value == "v"
+    assert clone.cell("k", "c").value == "w"
+
+
+# ---------------------------------------------------------------------------
+# Definition 1: expected_view_rows
+# ---------------------------------------------------------------------------
+
+
+def test_definition1_basic():
+    table = table_with(("k1", "vk", "a", 10), ("k1", "m1", "x", 11),
+                       ("k2", "vk", "a", 12))
+    rows = expected_view_rows(table, VIEW)
+    assert set(rows) == {("a", "k1"), ("a", "k2")}
+    row = rows[("a", "k1")]
+    assert row["B"] == Cell("k1", 10)
+    assert row["m1"].value == "x"
+    assert "m2" not in row
+
+
+def test_definition1_null_view_key_excluded():
+    table = table_with(("k1", "m1", "x", 11))
+    assert expected_view_rows(table, VIEW) == {}
+    table.apply(BaseUpdate("k1", "vk", None, 12))
+    assert expected_view_rows(table, VIEW) == {}
+
+
+def test_definition1_deleted_view_key_excluded():
+    table = table_with(("k1", "vk", "a", 10), ("k1", "vk", None, 20))
+    assert expected_view_rows(table, VIEW) == {}
+
+
+def test_definition1_predicate():
+    view = ViewDefinition("V", "B", "vk",
+                          key_predicate=lambda v: v != "skip")
+    table = table_with(("k1", "vk", "keep", 1), ("k2", "vk", "skip", 2))
+    rows = expected_view_rows(table, view)
+    assert set(rows) == {("keep", "k1")}
+
+
+def test_definition1_unmaterialized_columns_ignored():
+    table = table_with(("k1", "vk", "a", 10), ("k1", "other", "x", 11))
+    rows = expected_view_rows(table, VIEW)
+    assert set(rows[("a", "k1")]) == {"B"}
+
+
+# ---------------------------------------------------------------------------
+# Definition 2: propagation-prefix view states
+# ---------------------------------------------------------------------------
+
+
+def test_view_state_reflects_only_propagated_updates():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    assert set(model.current_view()) == {("a", "k")}
+    # An update exists in the base but has not propagated: invisible.
+    model.propagate(BaseUpdate("k", "m1", "x", 30))
+    view = model.current_view()
+    assert view[("a", "k")]["m1"].value == "x"
+
+
+def test_out_of_order_propagation_timestamp_order_applies():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "newer", 20))
+    model.propagate(BaseUpdate("k", "vk", "older", 10))
+    assert model.live_key_for("k") == "newer"
+    assert set(model.current_view()) == {("newer", "k")}
+
+
+def test_live_values_for():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    model.propagate(BaseUpdate("k", "m1", "x", 11))
+    assert model.live_values_for("k") == {"m1": "x", "m2": None}
+    model.propagate(BaseUpdate("k", "vk", None, 30))
+    assert model.live_values_for("k") is None
+
+
+# ---------------------------------------------------------------------------
+# Definition 3: versioned structure expectations
+# ---------------------------------------------------------------------------
+
+
+def test_stale_keys_accumulate():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    model.propagate(BaseUpdate("k", "vk", "b", 20))
+    model.propagate(BaseUpdate("k", "vk", "c", 30))
+    assert model.live_key_for("k") == "c"
+    assert model.stale_keys_for("k") == {"a", "b"}
+
+
+def test_stale_keys_includes_superseded_out_of_order_update():
+    """Theorem 1 Case 2a: an older update propagating late still creates a
+    stale row for its key."""
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "late-winner", 20))
+    model.propagate(BaseUpdate("k", "vk", "early-loser", 10))
+    assert model.live_key_for("k") == "late-winner"
+    assert model.stale_keys_for("k") == {"early-loser"}
+
+
+def test_version_timestamps_take_max_per_key():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    model.propagate(BaseUpdate("k", "vk", "b", 20))
+    model.propagate(BaseUpdate("k", "vk", "a", 30))
+    assert model.version_timestamps_for("k") == {"a": 30, "b": 20}
+    assert model.live_key_for("k") == "a"
+    assert model.stale_keys_for("k") == {"b"}
+
+
+def test_deletion_maps_to_null_anchor():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    model.propagate(BaseUpdate("k", "vk", None, 20))
+    assert model.live_key_for("k") == NULL_VIEW_KEY
+    assert model.stale_keys_for("k") == {"a"}
+
+
+def test_untracked_key_has_no_expectations():
+    model = ReferenceViewModel(VIEW)
+    assert model.live_key_for("never") is None
+    assert model.stale_keys_for("never") == frozenset()
+    assert model.tracked_base_keys() == set()
+
+
+def test_initial_base_state_seeds_versions():
+    base = LogicalBaseTable()
+    base.apply(BaseUpdate("k", "vk", "initial", 5))
+    model = ReferenceViewModel(VIEW, initial_base=base)
+    assert model.live_key_for("k") == "initial"
+    model.propagate(BaseUpdate("k", "vk", "updated", 10))
+    assert model.live_key_for("k") == "updated"
+    assert model.stale_keys_for("k") == {"initial"}
+
+
+def test_materialized_only_update_does_not_add_versions():
+    model = ReferenceViewModel(VIEW)
+    model.propagate(BaseUpdate("k", "vk", "a", 10))
+    model.propagate(BaseUpdate("k", "m1", "x", 20))
+    assert model.version_timestamps_for("k") == {"a": 10}
+
+
+def test_predicate_rejected_key_maps_to_null_anchor():
+    view = ViewDefinition("V", "B", "vk",
+                          key_predicate=lambda v: v != "reject")
+    model = ReferenceViewModel(view)
+    model.propagate(BaseUpdate("k", "vk", "ok", 10))
+    model.propagate(BaseUpdate("k", "vk", "reject", 20))
+    assert model.live_key_for("k") == NULL_VIEW_KEY
+    assert model.stale_keys_for("k") == {"ok"}

@@ -1,0 +1,135 @@
+"""The paper's worked examples, end to end (Figures 1-2, Examples 1-2).
+
+Uses the ``ticket_cluster`` fixture: the TICKET base table of Figure 1
+with the ASSIGNEDTO view (view key AssignedTo, materialized Status).
+"""
+
+from repro.views import NULL_VIEW_KEY, check_view, collect_entries
+
+from tests.views.conftest import TICKET_VIEW
+
+
+def get_view(cluster, view_key, columns=("B", "Status")):
+    client = cluster.sync_client()
+    results = client.get_view("ASSIGNEDTO", view_key, list(columns))
+    return sorted((r["B"], r["Status"]) for r in results)
+
+
+def test_figure_1_initial_view_contents(ticket_cluster):
+    """The ASSIGNEDTO view of Figure 1."""
+    assert get_view(ticket_cluster, "rliu") == [
+        (1, "open"), (4, "resolved")]
+    assert get_view(ticket_cluster, "kmsalem") == [
+        (2, "open"), (3, "open")]
+    assert get_view(ticket_cluster, "cjin") == [
+        (5, "open"), (7, "resolved")]
+
+
+def test_figure_1_unassigned_ticket_absent(ticket_cluster):
+    """Ticket 6 has a NULL AssignedTo: no view row (Definition 1)."""
+    per_base = collect_entries(ticket_cluster, TICKET_VIEW)
+    assert 6 not in per_base
+
+
+def test_figure_1_description_not_materialized(ticket_cluster):
+    """Description is not a view-materialized column: reading it from the
+    view yields NULL (the application must Get the base table)."""
+    client = ticket_cluster.sync_client()
+    (row,) = [r for r in client.get_view("ASSIGNEDTO", "rliu",
+                                         ["B", "Description"])
+              if r["B"] == 1]
+    assert row["Description"] is None
+
+
+def test_section_iii_get_returns_result_set(ticket_cluster):
+    """'a Get of the Ticket and Status columns for key rliu ... will
+    return {[1,open],[4,resolved]}' (Section III)."""
+    client = ticket_cluster.sync_client()
+    results = client.get_view("ASSIGNEDTO", "rliu", ["B", "Status"])
+    assert sorted((r["B"], r["Status"]) for r in results) == [
+        (1, "open"), (4, "resolved")]
+
+
+def test_example_1_single_reassignment(ticket_cluster):
+    """Example 1: reassign ticket 2 from kmsalem to rliu."""
+    client = ticket_cluster.sync_client()
+    client.put("TICKET", 2, {"AssignedTo": "rliu"}, w=2)
+    client.settle()
+    assert get_view(ticket_cluster, "rliu") == [
+        (1, "open"), (2, "open"), (4, "resolved")]
+    assert get_view(ticket_cluster, "kmsalem") == [(3, "open")]
+    assert check_view(ticket_cluster, TICKET_VIEW) == []
+
+
+def test_example_2_concurrent_reassignments(ticket_cluster):
+    """Example 2: two concurrent reassignments of ticket 2; the larger
+    timestamp (cjin) must win in both base table and view."""
+    a = ticket_cluster.client()
+    b = ticket_cluster.client()
+    env = ticket_cluster.env
+    pa = env.process(a.put("TICKET", 2, {"AssignedTo": "rliu"}, 2, 10**12))
+    pb = env.process(b.put("TICKET", 2, {"AssignedTo": "cjin"}, 2, 2 * 10**12))
+    env.run(until=pa)
+    env.run(until=pb)
+    ticket_cluster.run_until_idle()
+
+    assert get_view(ticket_cluster, "cjin") == [
+        (2, "open"), (5, "open"), (7, "resolved")]
+    assert get_view(ticket_cluster, "rliu") == [
+        (1, "open"), (4, "resolved")]
+    assert get_view(ticket_cluster, "kmsalem") == [(3, "open")]
+    # Base table agrees.
+    reader = ticket_cluster.sync_client()
+    assert reader.get("TICKET", 2, ["AssignedTo"], r=3)["AssignedTo"][0] == "cjin"
+    assert check_view(ticket_cluster, TICKET_VIEW) == []
+
+
+def test_figure_2_versioned_structure(ticket_cluster):
+    """After Example 2, ticket 2 has two stale rows whose Next pointers
+    lead to the live cjin row (Figure 2)."""
+    a = ticket_cluster.client()
+    b = ticket_cluster.client()
+    env = ticket_cluster.env
+    pa = env.process(a.put("TICKET", 2, {"AssignedTo": "rliu"}, 2, 10**12))
+    pb = env.process(b.put("TICKET", 2, {"AssignedTo": "cjin"}, 2, 2 * 10**12))
+    env.run(until=pa)
+    env.run(until=pb)
+    ticket_cluster.run_until_idle()
+
+    entries = collect_entries(ticket_cluster, TICKET_VIEW)[2]
+    # Live row: cjin.  Stale rows: kmsalem, rliu (plus the NULL anchor
+    # from the initial insert).
+    assert entries["cjin"].is_live
+    assert not entries["rliu"].is_live
+    assert not entries["kmsalem"].is_live
+    stale_keys = {key for key, entry in entries.items() if not entry.is_live}
+    assert stale_keys == {"rliu", "kmsalem", NULL_VIEW_KEY}
+    # Every stale pointer chain reaches cjin.
+    for key in ("rliu", "kmsalem"):
+        current = entries[key]
+        seen = set()
+        while not current.is_live:
+            assert current.next_key not in seen
+            seen.add(current.next_key)
+            current = entries[current.next_key]
+        assert current.view_key == "cjin"
+
+
+def test_section_iv_view_key_deletion(ticket_cluster):
+    """Deleting the view key removes the row from the view (Section IV-C's
+    deletion discussion)."""
+    client = ticket_cluster.sync_client()
+    client.put("TICKET", 5, {"AssignedTo": None}, w=2)
+    client.settle()
+    assert get_view(ticket_cluster, "cjin") == [(7, "resolved")]
+    assert check_view(ticket_cluster, TICKET_VIEW) == []
+
+
+def test_materialized_status_update(ticket_cluster):
+    """Resolving a ticket updates the Status cell in the view row."""
+    client = ticket_cluster.sync_client()
+    client.put("TICKET", 1, {"Status": "resolved"}, w=2)
+    client.settle()
+    assert get_view(ticket_cluster, "rliu") == [
+        (1, "resolved"), (4, "resolved")]
+    assert check_view(ticket_cluster, TICKET_VIEW) == []

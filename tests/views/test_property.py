@@ -1,0 +1,168 @@
+"""Property-based tests: random update/propagation schedules vs the oracle.
+
+Two layers:
+
+1. *Sequential, out-of-order propagation* (Algorithm 2's setting): random
+   single-column updates are applied to the base table, then propagated
+   in a random permutation with random (valid) guesses; after every
+   single propagation the versioned view must match the incremental
+   Definition 2/3 oracle.
+
+2. *Full stack, concurrent*: random multi-client workloads run through
+   Algorithm 1 with real concurrency (locks or propagators); after
+   quiescence the converged view must match the oracle fed with the same
+   updates.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.views import (
+    BaseUpdate,
+    ReferenceViewModel,
+    ViewDefinition,
+    ViewKeyGuess,
+    check_view,
+)
+from repro.common import Cell
+
+from tests.views.conftest import DirectDriver, make_config
+
+VIEW = ViewDefinition("V", "B", "vk", ("m",))
+
+BASE_KEYS = ["k1", "k2"]
+VIEW_KEYS = ["a", "b", "c", None]
+MAT_VALUES = ["x", "y", None]
+
+
+def update_strategy():
+    """One single-column update: either a view-key or materialized write."""
+    return st.one_of(
+        st.tuples(st.sampled_from(BASE_KEYS), st.just("vk"),
+                  st.sampled_from(VIEW_KEYS)),
+        st.tuples(st.sampled_from(BASE_KEYS), st.just("m"),
+                  st.sampled_from(MAT_VALUES)),
+    )
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    updates=st.lists(update_strategy(), min_size=1, max_size=10),
+    order=st.randoms(use_true_random=False),
+)
+def test_sequential_out_of_order_propagation_matches_oracle(updates, order):
+    cluster = Cluster(make_config())
+    cluster.create_table("B")
+    cluster.create_table("V")
+    driver = DirectDriver(cluster, VIEW)
+    reference = ReferenceViewModel(VIEW)
+
+    # Apply every update to the base table first (timestamps = 10, 20, ...).
+    stamped = []
+    for index, (key, column, value) in enumerate(updates):
+        ts = (index + 1) * 10
+        driver.base_put(key, {column: value}, ts)
+        stamped.append(BaseUpdate(key, column, value, ts))
+
+    # Propagate in a random permutation with random valid guesses.
+    permutation = list(stamped)
+    order.shuffle(permutation)
+    for update in permutation:
+        versions = reference.version_timestamps_for(update.key)
+        if versions:
+            guess_key = order.choice(sorted(versions, key=repr))
+            guess = ViewKeyGuess(guess_key, versions[guess_key])
+        else:
+            guess = ViewKeyGuess.from_cell(VIEW, None)
+        driver.propagate(update.key, guess,
+                         {update.column: update.value}, update.timestamp)
+        reference.propagate(update)
+        violations = check_view(cluster, VIEW, reference)
+        assert violations == [], (
+            f"after propagating {update}: {violations}")
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(BASE_KEYS),
+            st.one_of(
+                st.tuples(st.just("vk"), st.sampled_from(VIEW_KEYS)),
+                st.tuples(st.just("m"), st.sampled_from(MAT_VALUES)),
+            ),
+            st.integers(min_value=0, max_value=3),   # client index
+            st.integers(min_value=0, max_value=5),   # start delay (ms)
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    mode=st.sampled_from(["locks", "propagators"]),
+)
+def test_concurrent_full_stack_matches_oracle(ops, mode):
+    cluster = Cluster(make_config(propagation_concurrency=mode))
+    cluster.create_table("B")
+    cluster.create_view(VIEW)
+    clients = [cluster.client() for _ in range(4)]
+    env = cluster.env
+    reference = ReferenceViewModel(VIEW)
+
+    processes = []
+    for index, (key, (column, value), client_index, delay) in enumerate(ops):
+        ts = (index + 1) * 1_000_000
+
+        def issue(client=clients[client_index], key=key, column=column,
+                  value=value, ts=ts, delay=delay):
+            yield env.timeout(delay)
+            yield from client.put("B", key, {column: value}, 2, ts)
+
+        processes.append(env.process(issue()))
+        reference.propagate(BaseUpdate(key, column, value, ts))
+
+    for process in processes:
+        env.run(until=process)
+    cluster.run_until_idle()
+
+    violations = check_view(cluster, VIEW, reference)
+    assert violations == [], violations
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    assignments=st.lists(st.sampled_from(["a", "b", "c"]),
+                         min_size=2, max_size=6),
+)
+def test_hot_row_reassignment_storm(assignments):
+    """Many concurrent view-key updates to ONE base row (the paper's
+    hardest case) always converge to a single correct live row."""
+    cluster = Cluster(make_config())
+    cluster.create_table("B")
+    cluster.create_view(VIEW)
+    env = cluster.env
+    clients = [cluster.client() for _ in range(len(assignments))]
+    reference = ReferenceViewModel(VIEW)
+
+    processes = []
+    for index, (client, value) in enumerate(zip(clients, assignments)):
+        ts = (index + 1) * 1_000_000
+
+        def issue(client=client, value=value, ts=ts):
+            yield from client.put("B", "hot", {"vk": value}, 2, ts)
+
+        processes.append(env.process(issue()))
+        reference.propagate(BaseUpdate("hot", "vk", value, ts))
+
+    for process in processes:
+        env.run(until=process)
+    cluster.run_until_idle()
+
+    violations = check_view(cluster, VIEW, reference)
+    assert violations == [], violations
+    reader = cluster.sync_client()
+    winner = assignments[-1]
+    rows = reader.get_view("V", winner, ["B"])
+    assert [r.base_key for r in rows] == ["hot"]

@@ -1,0 +1,85 @@
+"""Quorum intersection on the view table.
+
+Algorithm 2 writes with a majority quorum precisely so that majority
+reads (GetLiveKey, and view Gets that choose r = majority) always
+intersect the latest completed maintenance write, even when a minority
+of view replicas is stale or unreachable.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.views import ViewDefinition, check_view
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+
+def build():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    return cluster, cluster.sync_client()
+
+
+def stale_minority(cluster, view_key):
+    """Roll one view replica back to an empty row (simulated lag)."""
+    victim = cluster.replicas_for("V", view_key)[0]
+    table = victim.engine._tables["V"]
+    table.pop(view_key, None)
+    return victim
+
+
+def test_majority_view_read_tolerates_one_stale_replica():
+    cluster, client = build()
+    client.put("T", "k", {"vk": "a", "m": "x"}, w=2)
+    client.settle()
+    stale_minority(cluster, "a")
+    rows = client.get_view("V", "a", ["m"], r=2)
+    assert [r["m"] for r in rows] == ["x"]
+
+
+def test_r1_view_read_can_be_stale_then_repair_heals():
+    cluster, client = build()
+    client.put("T", "k", {"vk": "a", "m": "x"}, w=2)
+    client.settle()
+    victim = stale_minority(cluster, "a")
+    # An R=1 read may hit the rolled-back replica and miss the row —
+    # that is the documented trade-off.  A majority read fixes it (and
+    # its read repair heals the straggler).
+    rows_majority = client.get_view("V", "a", ["m"], r=2)
+    assert len(rows_majority) == 1
+    cluster.run_until_idle()
+    local = victim.engine.read("V", "a", (("k", "Next"),))[("k", "Next")]
+    assert local is not None and local.value == "a"
+
+
+def test_maintenance_correct_with_lagging_view_replica():
+    """GetLiveKey's majority read must see the latest pointer writes even
+    when one replica lags; follow-up propagation stays correct."""
+    cluster, client = build()
+    client.put("T", "k", {"vk": "a", "m": "x"}, w=2)
+    client.settle()
+    stale_minority(cluster, "a")
+    # Move the key: the propagation's GetLiveKey starts from guess "a";
+    # the majority read sees the live self-pointer despite the lagger.
+    client.put("T", "k", {"vk": "b"}, w=2)
+    client.settle()
+    assert client.get_view("V", "a", ["m"], r=2) == []
+    rows = client.get_view("V", "b", ["m"], r=2)
+    assert [r["m"] for r in rows] == ["x"]
+    assert check_view(cluster, VIEW) == []
+
+
+def test_chain_walk_correct_with_lagging_middle_row():
+    cluster, client = build()
+    for key in ("a", "b", "c"):
+        client.put("T", "k", {"vk": key}, w=2)
+        client.settle()
+    stale_minority(cluster, "b")  # a stale row's replica lags
+    client.put("T", "k", {"vk": "d"}, w=2)
+    client.settle()
+    rows = client.get_view("V", "d", ["B"], r=2)
+    assert [r.base_key for r in rows] == ["k"]
+    assert check_view(cluster, VIEW) == []

@@ -1,0 +1,107 @@
+"""Tests for session bookkeeping and the Section V guarantee machinery."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.sim import Environment
+from repro.views.session import SessionManager
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_sessions_get_distinct_ids(env):
+    manager = SessionManager(env)
+    a = manager.create(0)
+    b = manager.create(1)
+    assert a.session_id != b.session_id
+    assert a.coordinator_id == 0
+    assert b.coordinator_id == 1
+
+
+def test_register_and_auto_discard(env):
+    manager = SessionManager(env)
+    session = manager.create(0)
+    event = env.timeout(5.0)
+    manager.register(session, "V", event)
+    assert session.pending_count == 1
+    env.run()
+    assert session.pending_count == 0
+
+
+def test_barrier_blocks_until_pending_complete(env):
+    manager = SessionManager(env)
+    session = manager.create(0)
+    manager.register(session, "V", env.timeout(5.0))
+    manager.register(session, "V", env.timeout(9.0))
+    log = []
+
+    def getter():
+        yield from manager.barrier(session, "V")
+        log.append(env.now)
+
+    env.process(getter())
+    env.run()
+    assert log == [9.0]
+    assert manager.blocked_gets == 1
+
+
+def test_barrier_without_pending_is_instant(env):
+    manager = SessionManager(env)
+    session = manager.create(0)
+    log = []
+
+    def getter():
+        yield from manager.barrier(session, "V")
+        log.append(env.now)
+
+    env.process(getter())
+    env.run()
+    assert log == [0.0]
+    assert manager.blocked_gets == 0
+
+
+def test_barrier_is_per_view(env):
+    manager = SessionManager(env)
+    session = manager.create(0)
+    manager.register(session, "V", env.timeout(100.0))
+    log = []
+
+    def getter():
+        yield from manager.barrier(session, "OTHER")
+        log.append(env.now)
+
+    env.process(getter())
+    env.run()
+    assert log == [0.0]
+
+
+def test_barrier_snapshot_ignores_later_registrations(env):
+    """The barrier waits only for propagations pending at Get time."""
+    manager = SessionManager(env)
+    session = manager.create(0)
+    manager.register(session, "V", env.timeout(3.0))
+    log = []
+
+    def getter():
+        yield from manager.barrier(session, "V")
+        log.append(env.now)
+
+    def late_putter():
+        yield env.timeout(1.0)
+        manager.register(session, "V", env.timeout(50.0))
+
+    env.process(getter())
+    env.process(late_putter())
+    env.run()
+    assert log == [3.0]
+
+
+def test_register_on_ended_session_rejected(env):
+    manager = SessionManager(env)
+    session = manager.create(0)
+    manager.end(session)
+    with pytest.raises(SessionError):
+        manager.register(session, "V", env.event())

@@ -1,0 +1,94 @@
+"""Tests for the YCSB-style workload presets."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.workloads import WORKLOADS, YcsbWorkload, run_closed_loop, ycsb_op
+
+from tests.cluster.conftest import make_config
+
+
+def build_cluster(rows=40):
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    client = cluster.sync_client()
+    for i in range(rows):
+        client.put("T", i, {"payload": f"v{i}"}, w=3)
+    client.settle()
+    return cluster
+
+
+def test_presets_exist_and_validate():
+    assert set(WORKLOADS) == {"A", "B", "C", "D", "F"}
+    for workload in WORKLOADS.values():
+        total = (workload.read_fraction + workload.update_fraction
+                 + workload.insert_fraction + workload.rmw_fraction)
+        assert total == pytest.approx(1.0)
+
+
+def test_bad_fractions_rejected():
+    with pytest.raises(ValueError):
+        YcsbWorkload("X", read_fraction=0.5, update_fraction=0.4)
+
+
+def test_zipfian_chooser_by_default():
+    from repro.workloads.generators import ZipfianKeys
+
+    assert isinstance(WORKLOADS["A"].chooser(100), ZipfianKeys)
+
+
+@pytest.mark.parametrize("preset", ["A", "B", "C", "F"])
+def test_presets_run_against_cluster(preset):
+    cluster = build_cluster()
+    op = ycsb_op(WORKLOADS[preset], "T", population=40)
+    result = run_closed_loop(cluster, op, clients=2, duration=150.0,
+                             warmup=20.0)
+    assert result.operations > 20
+    assert result.errors == 0
+
+
+def test_workload_c_is_read_only():
+    cluster = build_cluster()
+    before = {
+        node.node_id: node.engine.cell_count("T") for node in cluster.nodes}
+    op = ycsb_op(WORKLOADS["C"], "T", population=40)
+    run_closed_loop(cluster, op, clients=2, duration=100.0)
+    cluster.run_until_idle()
+    after = {
+        node.node_id: node.engine.cell_count("T") for node in cluster.nodes}
+    assert before == after
+
+
+def test_workload_d_inserts_new_keys():
+    cluster = build_cluster(rows=20)
+    op = ycsb_op(WORKLOADS["D"], "T", population=20)
+    run_closed_loop(cluster, op, clients=4, duration=300.0)
+    cluster.run_until_idle()
+    reader = cluster.sync_client()
+    # At least one key beyond the initial population exists now.
+    assert reader.get("T", 20, ["payload"], r=3)["payload"][0] is not None
+
+
+def test_workload_f_rmw_modifies_values():
+    cluster = build_cluster(rows=5)
+    op = ycsb_op(WORKLOADS["F"], "T", population=5)
+    run_closed_loop(cluster, op, clients=2, duration=200.0)
+    cluster.run_until_idle()
+    reader = cluster.sync_client()
+    values = [reader.get("T", i, ["payload"], r=3)["payload"][0]
+              for i in range(5)]
+    assert any(value and "!" in value for value in values)
+
+
+def test_zipfian_skew_concentrates_on_hot_keys():
+    cluster = build_cluster(rows=100)
+    hits = {"hot": 0, "total": 0}
+    base_op = ycsb_op(WORKLOADS["C"], "T", population=100)
+    chooser = WORKLOADS["C"].chooser(100)
+    rng = cluster.streams.stream("skew-check")
+    for _ in range(2000):
+        key = chooser.choose(rng)
+        hits["total"] += 1
+        if key < 5:
+            hits["hot"] += 1
+    assert hits["hot"] / hits["total"] > 0.25
