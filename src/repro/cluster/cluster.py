@@ -58,6 +58,8 @@ class Cluster:
         # Installed lazily by create_view() (keeps cluster importable
         # without the views package and avoids an import cycle).
         self.view_manager = None
+        # Background view scrubbers started via start_scrubber().
+        self.scrubbers: List = []
         # Opt-in structured tracing (see enable_tracing()).
         self.tracer = None
 
@@ -191,6 +193,24 @@ class Cluster:
     def start_anti_entropy(self, tables, interval: float) -> AntiEntropyService:
         """Start periodic background repair of ``tables``."""
         return AntiEntropyService(self, tables, interval)
+
+    def start_scrubber(self, view_names=None, **overrides):
+        """Start a background view scrubber (see :mod:`repro.repair`).
+
+        The scrubber periodically compares each view's live rows against
+        the base table and repairs confirmed divergence by re-driving
+        rows through normal propagation — the self-healing complement to
+        replica anti-entropy, which never compares a base table against
+        its views.  ``view_names`` defaults to every registered view;
+        keyword overrides (``interval``, ``row_budget``, ``range_depth``,
+        ``rate_limit``, ``degraded_backoff``, ``coordinator_id``) default
+        to the cluster config's ``scrub_*`` knobs.
+        """
+        from repro.repair import ViewScrubber  # late: avoids cycle
+
+        scrubber = ViewScrubber(self, view_names, **overrides)
+        self.scrubbers.append(scrubber)
+        return scrubber
 
     # -- tracing ----------------------------------------------------------------------------
 

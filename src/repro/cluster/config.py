@@ -120,6 +120,19 @@ class ClusterConfig:
     propagation_retry_backoff: float = 0.5
     propagation_max_rounds: int = 200
 
+    # Background view scrubber defaults (consumed by repro.repair).
+    # Base interval between scrub rounds; per-round row verification
+    # budget; Merkle-tree depth for range-level skip of clean ranges
+    # (2**depth buckets); minimum delay between two row verifications
+    # inside a round; and the interval multiplier applied while any node
+    # is down (a degraded cluster needs its quorum capacity for
+    # foreground traffic).
+    scrub_interval: float = 50.0
+    scrub_row_budget: int = 64
+    scrub_range_depth: int = 4
+    scrub_rate_limit: float = 0.1
+    scrub_degraded_backoff: float = 4.0
+
     # Root seed for all RNG streams.
     seed: int = 0
 
@@ -148,6 +161,16 @@ class ClusterConfig:
             raise ValueError("propagation_retry_backoff must be non-negative")
         if self.propagation_max_rounds < 1:
             raise ValueError("propagation_max_rounds must be >= 1")
+        if self.scrub_interval <= 0:
+            raise ValueError("scrub_interval must be positive")
+        if self.scrub_row_budget < 1:
+            raise ValueError("scrub_row_budget must be >= 1")
+        if not 0 <= self.scrub_range_depth <= 20:
+            raise ValueError("scrub_range_depth must be in [0, 20]")
+        if self.scrub_rate_limit < 0:
+            raise ValueError("scrub_rate_limit must be non-negative")
+        if self.scrub_degraded_backoff < 1.0:
+            raise ValueError("scrub_degraded_backoff must be >= 1")
 
     def with_overrides(self, **kwargs) -> "ClusterConfig":
         """A copy of this config with the given fields replaced."""

@@ -35,11 +35,16 @@ class ClusterSnapshot:
     messages_dropped: int
     pending_propagations: int
     completed_propagations: int
+    lost_propagations: int = 0
+    scrub_rows_scanned: int = 0
+    scrub_divergences_found: int = 0
+    scrub_repairs_applied: int = 0
 
     @staticmethod
     def capture(cluster) -> "ClusterSnapshot":
         """Snapshot ``cluster``'s counters now."""
         manager = cluster.view_manager
+        scrubbers = getattr(cluster, "scrubbers", ())
         return ClusterSnapshot(
             at=cluster.env.now,
             nodes=[NodeSnapshot(node.node_id, node.busy_time,
@@ -51,6 +56,13 @@ class ClusterSnapshot:
                                   if manager else 0),
             completed_propagations=(manager.completed_propagations
                                     if manager else 0),
+            lost_propagations=(manager.lost_propagations if manager else 0),
+            scrub_rows_scanned=sum(s.metrics.rows_scanned
+                                   for s in scrubbers),
+            scrub_divergences_found=sum(s.metrics.divergences_found
+                                        for s in scrubbers),
+            scrub_repairs_applied=sum(s.metrics.repairs_applied
+                                      for s in scrubbers),
         )
 
 
@@ -131,6 +143,12 @@ class UtilizationReport:
         """View propagations completed during the window."""
         return (self.end.completed_propagations
                 - self.begin.completed_propagations)
+
+    @property
+    def scrub_repairs(self) -> int:
+        """Scrubber repairs applied during the window."""
+        return (self.end.scrub_repairs_applied
+                - self.begin.scrub_repairs_applied)
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -76,6 +76,17 @@ class NodeDownError(ClusterError):
     """An operation was directed at a node that is currently down."""
 
 
+class CoordinatorCrashError(ClusterError):
+    """An injected coordinator crash lost an in-flight view propagation.
+
+    Raised inside the asynchronous propagation driver when a chaos hook
+    (``ChaosMonkey.crash_during_propagation``) fires; the driver counts
+    the propagation as lost instead of escalating, modelling the paper's
+    Section VIII staleness caveat that the repair subsystem
+    (:mod:`repro.repair`) exists to heal.
+    """
+
+
 class InvalidQuorumError(ClusterError):
     """The requested R/W quorum is outside ``1..N``."""
 

@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablations,
     crossover,
+    ext_repair,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -30,4 +31,5 @@ __all__ = [
     "fig8_update_skew",
     "ablations",
     "crossover",
+    "ext_repair",
 ]

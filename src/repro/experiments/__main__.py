@@ -20,6 +20,7 @@ from repro.experiments import (
     ExperimentParams,
     ablations,
     crossover,
+    ext_repair,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "abl5": lambda p: ablations.stale_row_gc(p),
     "abl6": lambda p: ablations.master_vs_decentralized(p),
     "ext1": lambda p: crossover.run(p),
+    "ext_repair": lambda p: ext_repair.run(p),
 }
 
 

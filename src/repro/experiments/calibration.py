@@ -60,6 +60,15 @@ class ExperimentParams:
     skew_duration: float = 1_500.0
     skew_ranges: Tuple[int, ...] = (1, 10, 100, 1_000, 10_000, 100_000)
 
+    # Extension E2 (ext_repair): rows in the scrubbed table, workload
+    # updates, propagations deterministically lost to coordinator
+    # crashes, post-workload observation window, and sampling cadence.
+    repair_rows: int = 120
+    repair_updates: int = 80
+    repair_crashes: int = 6
+    repair_duration: float = 800.0
+    repair_sample_every: float = 40.0
+
     def quick(self) -> "ExperimentParams":
         """A much smaller variant for tests of the experiment harness."""
         return ExperimentParams(
@@ -73,6 +82,11 @@ class ExperimentParams:
             skew_clients=4,
             skew_duration=300.0,
             skew_ranges=(1, 100, 10_000),
+            repair_rows=40,
+            repair_updates=30,
+            repair_crashes=3,
+            repair_duration=400.0,
+            repair_sample_every=40.0,
             seed=self.seed,
         )
 

@@ -1,0 +1,66 @@
+"""The repair arm: re-drive a diverged base row through propagation.
+
+Repair is deliberately *not* a special write path.  A diverged row is
+healed by replaying what Algorithm 1 would have done for the row's
+current base state: quorum-read the watched columns, propagate the view
+key cell at its own timestamp (starting from the never-written-NULL
+guess, whose virtual anchor makes it a universal chain entry point —
+``GetLiveKey`` walks from the NULL anchor to whatever row is currently
+live), then propagate each materialized cell at its own timestamp.
+Because every view write carries scaled base timestamps, replaying
+already-propagated state is an LWW no-op, and replaying lost state lands
+exactly where the original propagation would have put it — repaired
+views are indistinguishable from never-diverged ones.
+
+``ViewManager.backfill`` shares this routine: an initial load is just a
+repair of every base row against an empty view.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.views.definition import ViewDefinition
+from repro.views.maintenance import ViewKeyGuess
+
+__all__ = ["repropagate_row"]
+
+
+def repropagate_row(manager, coordinator, view: ViewDefinition,
+                    base_key: Hashable, r: Optional[int] = None):
+    """Propagate one base row's current state into ``view``; a process.
+
+    ``r`` is the base-read quorum (defaults to the maintainer's majority
+    quorum, so repair keeps working while a minority of replicas is
+    down).  Returns True if the row had a view-key version to propagate,
+    False for rows the view has never seen (no view-key cell — parked
+    materialized state needs no row).  Raises
+    :class:`~repro.errors.QuorumError` if the base read cannot reach a
+    quorum, and :class:`~repro.errors.PropagationError` if every retry
+    round is exhausted.
+    """
+    if r is None:
+        r = manager.maintainer.quorum
+    columns = (view.view_key_column, *view.materialized_columns)
+    merged = yield from coordinator.get(view.base_table, base_key, columns, r)
+    key_cell = merged[view.view_key_column]
+    if key_cell.timestamp < 0:
+        return False
+    # The view-key cell first: this creates/refreshes the live row the
+    # materialized cells are then written into.
+    pristine = [ViewKeyGuess.from_cell(view, None)]
+    yield from manager._propagate_with_retries(
+        coordinator, view, view.base_table, base_key, pristine,
+        {view.view_key_column: (None if key_cell.tombstone
+                                else key_cell.value)},
+        key_cell.timestamp)
+    for column in view.materialized_columns:
+        cell = merged[column]
+        if cell.timestamp < 0:
+            continue
+        guesses = [ViewKeyGuess.from_cell(view, key_cell)]
+        yield from manager._propagate_with_retries(
+            coordinator, view, view.base_table, base_key, guesses,
+            {column: (None if cell.tombstone else cell.value)},
+            cell.timestamp)
+    return True

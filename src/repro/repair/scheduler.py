@@ -1,0 +1,229 @@
+"""The view scrubber: a background detect-and-repair loop per cluster.
+
+Modelled on the other background services (``AntiEntropyService``,
+``StaleRowCollector``): a simulation process wakes every ``interval``
+ms, compares each target view's canonical digest trees, and for dirty
+hash ranges verifies rows with quorum reads and repairs confirmed
+divergences through the ordinary propagation machinery.  Knobs (all
+defaulted from :class:`~repro.cluster.config.ClusterConfig`):
+
+``interval``
+    Base delay between rounds.
+``row_budget``
+    Maximum rows verified per round, shared across views; the
+    token-range scanner's persistent cursor resumes next round.
+``range_depth``
+    Merkle tree depth — ``2**depth`` hash buckets per view.
+``rate_limit``
+    Minimum delay between two row verifications inside a round.
+``degraded_backoff``
+    Multiplier applied to ``interval`` while any node is down: a
+    degraded cluster needs its quorum capacity for foreground traffic,
+    and repairs issued during the outage would miss the down replicas
+    anyway.
+
+``pause()``/``resume()`` gate rounds without killing the process (an
+operator hook); ``stop()`` ends it.  All activity is counted in
+:class:`~repro.repair.metrics.ScrubMetrics` and traced under the
+``scrub`` category.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PropagationError, QuorumError
+from repro.repair.detector import dirty_buckets, verify_row
+from repro.repair.metrics import ScrubMetrics
+from repro.repair.repairer import repropagate_row
+from repro.repair.scanner import TokenRangeScanner
+
+__all__ = ["ViewScrubber"]
+
+
+class ViewScrubber:
+    """Periodic base↔view divergence detection and repair."""
+
+    def __init__(self, cluster, view_names: Optional[List[str]] = None, *,
+                 interval: Optional[float] = None,
+                 row_budget: Optional[int] = None,
+                 range_depth: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 degraded_backoff: Optional[float] = None,
+                 coordinator_id: int = 0):
+        config = cluster.config
+        self.cluster = cluster
+        self.view_names = list(view_names) if view_names is not None else None
+        self.interval = (interval if interval is not None
+                         else config.scrub_interval)
+        self.row_budget = (row_budget if row_budget is not None
+                           else config.scrub_row_budget)
+        self.range_depth = (range_depth if range_depth is not None
+                            else config.scrub_range_depth)
+        self.rate_limit = (rate_limit if rate_limit is not None
+                           else config.scrub_rate_limit)
+        self.degraded_backoff = (degraded_backoff
+                                 if degraded_backoff is not None
+                                 else config.scrub_degraded_backoff)
+        self.coordinator_id = coordinator_id
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.row_budget < 1:
+            raise ValueError("row_budget must be >= 1")
+        if not 0 <= self.range_depth <= 20:
+            raise ValueError("range_depth must be in [0, 20]")
+        if self.rate_limit < 0:
+            raise ValueError("rate_limit must be non-negative")
+        if self.degraded_backoff < 1.0:
+            raise ValueError("degraded_backoff must be >= 1")
+        if self.view_names is not None:
+            manager = cluster.view_manager
+            known = set(manager.view_names()) if manager is not None else set()
+            unknown = [name for name in self.view_names if name not in known]
+            if unknown:
+                raise ValueError(
+                    "unknown view(s): %s" % ", ".join(sorted(unknown)))
+        self.metrics = ScrubMetrics()
+        self._scanners = {}
+        self._paused = False
+        self._stopped = False
+        self._process = cluster.env.process(self._loop(),
+                                            name="view-scrubber")
+
+    # -- operator controls -------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop scrubbing (takes effect at the next wakeup)."""
+        self._stopped = True
+
+    def pause(self) -> None:
+        """Skip rounds until :meth:`resume` (the process keeps ticking)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume scrubbing after :meth:`pause`."""
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        """True while rounds are being skipped."""
+        return self._paused
+
+    # -- the loop ----------------------------------------------------------
+
+    def _degraded(self) -> bool:
+        return any(node.is_down for node in self.cluster.nodes)
+
+    def _loop(self):
+        env = self.cluster.env
+        while not self._stopped:
+            if self._degraded():
+                self.metrics.backoff_rounds += 1
+                delay = self.interval * self.degraded_backoff
+            else:
+                delay = self.interval
+            yield env.timeout(delay)
+            if self._stopped:
+                return
+            if self._paused:
+                self.metrics.skipped_rounds += 1
+                continue
+            yield env.process(self.run_round(), name="scrub-round")
+
+    def _target_views(self):
+        manager = self.cluster.view_manager
+        if manager is None:
+            return []
+        names = (self.view_names if self.view_names is not None
+                 else manager.view_names())
+        return [manager.view(name) for name in names]
+
+    def _alive_coordinator(self):
+        node_ids = [self.coordinator_id,
+                    *range(self.cluster.config.nodes)]
+        for node_id in node_ids:
+            if not self.cluster.node(node_id).is_down:
+                return self.cluster.coordinator(node_id)
+        return None
+
+    def run_round(self):
+        """One scrub round over every target view; a simulation process.
+
+        Also callable directly (``yield env.process(s.run_round())``) for
+        deterministic tests.
+        """
+        self.metrics.rounds += 1
+        views = self._target_views()
+        coordinator = self._alive_coordinator()
+        if not views or coordinator is None:
+            self.metrics.skipped_rounds += 1
+            return
+        budget = self.row_budget
+        clean = True
+        for view in views:
+            spent, view_clean = yield from self._scrub_view(
+                view, coordinator, budget)
+            budget -= spent
+            clean = clean and view_clean
+        if clean:
+            self.metrics.note_clean_round(self.cluster.env.now)
+
+    def _scrub_view(self, view, coordinator, budget: int):
+        """Digest-compare one view, then verify/repair dirty ranges.
+
+        Returns ``(rows_spent, clean)``.
+        """
+        cluster = self.cluster
+        env = cluster.env
+        manager = cluster.view_manager
+        # Exchanging digest trees: one replica round trip (the detector
+        # builds both trees from converged introspective state; the
+        # network cost of shipping them is still charged).
+        peer = (coordinator.node.node_id + 1) % cluster.config.nodes
+        if peer != coordinator.node.node_id:
+            yield env.timeout(cluster.network.one_way_delay(
+                coordinator.node.node_id, peer) * 2)
+        dirty, live = dirty_buckets(cluster, view, self.range_depth)
+        self.metrics.ranges_compared += 1 << self.range_depth
+        self.metrics.ranges_skipped_clean += (1 << self.range_depth) - len(dirty)
+        if not dirty:
+            cluster.trace("scrub", "view clean", view=view.name)
+            return 0, True
+        scanner = self._scanners.get(view.name)
+        if scanner is None:
+            scanner = TokenRangeScanner(cluster, view.base_table,
+                                        self.range_depth)
+            self._scanners[view.name] = scanner
+        plan = scanner.plan(dirty, budget, scanner.snapshot(live))
+        cluster.trace("scrub", "scanning dirty ranges", view=view.name,
+                      buckets=len(dirty), rows=len(plan.rows),
+                      covered_all=plan.covered_all)
+        spent = 0
+        for _bucket, key in plan.rows:
+            if self.rate_limit > 0:
+                yield env.timeout(self.rate_limit)
+            spent += 1
+            self.metrics.rows_scanned += 1
+            try:
+                divergence = yield from verify_row(
+                    coordinator, view, key, manager.maintainer.quorum,
+                    tuple(live.get(key, ())))
+            except QuorumError:
+                self.metrics.rows_skipped_unavailable += 1
+                continue
+            if divergence is None:
+                continue
+            self.metrics.divergences_found += 1
+            self.metrics.note_divergence(env.now)
+            cluster.trace("scrub", "divergence confirmed", view=view.name,
+                          key=key, kind=divergence.kind)
+            try:
+                yield from repropagate_row(manager, coordinator, view, key)
+            except (QuorumError, PropagationError):
+                self.metrics.repair_failures += 1
+                cluster.trace("scrub", "repair failed", view=view.name,
+                              key=key)
+            else:
+                self.metrics.repairs_applied += 1
+                cluster.trace("scrub", "repaired", view=view.name, key=key)
+        return spent, False

@@ -15,10 +15,15 @@ from repro.views.definition import (
 from repro.views.gc import GCReport, StaleRowCollector, collect_stale_rows
 from repro.views.joins import JoinResult, JoinSide, JoinViewDefinition
 from repro.views.master import MasterBasedViews
-from repro.views.invariants import check_view, collect_entries, merged_view_state
+from repro.views.invariants import (
+    check_view,
+    collect_entries,
+    live_entries,
+    merged_view_state,
+)
 from repro.views.locks import LockService, ReadWriteLock
 from repro.views.maintenance import PropagationMetrics, ViewKeyGuess, ViewMaintainer
-from repro.views.manager import ViewManager
+from repro.views.manager import BackfillReport, ViewManager
 from repro.views.model import (
     BaseUpdate,
     LogicalBaseTable,
@@ -66,7 +71,9 @@ __all__ = [
     "base_timestamp_of",
     "check_view",
     "collect_entries",
+    "live_entries",
     "merged_view_state",
+    "BackfillReport",
     "GCReport",
     "StaleRowCollector",
     "collect_stale_rows",

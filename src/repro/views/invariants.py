@@ -31,6 +31,7 @@ __all__ = [
     "merged_view_rows",
     "entries_for_base_key",
     "collect_entries",
+    "live_entries",
     "check_view",
 ]
 
@@ -100,6 +101,23 @@ def collect_entries(cluster, view: ViewDefinition
             if entry.next_cell.is_null:
                 continue
             per_base.setdefault(entry.base_key, {})[view_key] = entry
+    return per_base
+
+
+def live_entries(cluster, view: ViewDefinition
+                 ) -> Dict[Hashable, Dict[Any, VersionedEntry]]:
+    """Only the *live* rows of :func:`collect_entries`.
+
+    A correct quiesced view has exactly one live entry per present base
+    key; the repair subsystem's detector compares this map against the
+    canonical rows the base table implies.
+    """
+    per_base: Dict[Hashable, Dict[Any, VersionedEntry]] = {}
+    for base_key, entries in collect_entries(cluster, view).items():
+        live = {view_key: entry for view_key, entry in entries.items()
+                if entry.is_live}
+        if live:
+            per_base[base_key] = live
     return per_base
 
 

@@ -25,10 +25,12 @@ modelling the prototype's finite maintenance capacity.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.common.records import Cell, ColumnName
 from repro.errors import (
+    CoordinatorCrashError,
     NoSuchViewError,
     PropagationError,
     QuorumError,
@@ -44,7 +46,22 @@ from repro.views.maintenance import ViewKeyGuess, ViewMaintainer
 from repro.views.propagators import PropagatorPool
 from repro.views.session import SessionManager
 
-__all__ = ["ViewManager"]
+__all__ = ["BackfillReport", "ViewManager"]
+
+
+@dataclass
+class BackfillReport:
+    """Outcome of :meth:`ViewManager.backfill`.
+
+    ``skipped`` lists base keys that could not be loaded because no
+    replica of the row was reachable (all down, or quorum reads timed
+    out) — callers re-run backfill for them, or leave them to the
+    background scrubber (:mod:`repro.repair`).
+    """
+
+    loaded: int = 0
+    batches: int = 0
+    skipped: Tuple[Hashable, ...] = ()
 
 
 class ViewManager:
@@ -69,6 +86,12 @@ class ViewManager:
         # Observability.
         self.pending_propagations = 0
         self.completed_propagations = 0
+        self.lost_propagations = 0
+        self.abandoned_propagations = 0
+        # Fault-injection hooks (ChaosMonkey.crash_during_propagation):
+        # consulted by the propagation driver; a hook returning True
+        # crashes the coordinator before the propagation runs.
+        self._crash_hooks: List[Callable] = []
 
     # -- registry -----------------------------------------------------------
 
@@ -221,6 +244,37 @@ class ViewManager:
             self._backpressure[coordinator_id] = semaphore
         return semaphore
 
+    # -- fault injection -----------------------------------------------------
+
+    def add_crash_hook(self, hook: Callable) -> None:
+        """Arm ``hook(coordinator, view, base_key, base_ts) -> bool``.
+
+        Consulted once per asynchronous propagation, after the view-key
+        collection settles and the scheduling delay elapses but before
+        Algorithm 2 runs — the window in which a real coordinator crash
+        silently loses the propagation.  A hook returning True raises
+        :class:`~repro.errors.CoordinatorCrashError` inside the driver,
+        which counts the propagation as lost (``lost_propagations``)
+        instead of escalating.
+        """
+        self._crash_hooks.append(hook)
+
+    def remove_crash_hook(self, hook: Callable) -> None:
+        """Disarm a hook registered with :meth:`add_crash_hook`."""
+        try:
+            self._crash_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _maybe_crash(self, coordinator, view: ViewDefinition,
+                     key: Hashable, base_ts: int) -> None:
+        for hook in list(self._crash_hooks):
+            if hook(coordinator, view, key, base_ts):
+                raise CoordinatorCrashError(
+                    f"coordinator {coordinator.node.node_id} crashed before "
+                    f"propagating base key {key!r} (ts {base_ts}) to view "
+                    f"{view.name!r}")
+
     # -- asynchronous propagation driver -----------------------------------------
 
     def _propagation_driver(self, coordinator, view: ViewDefinition,
@@ -237,6 +291,7 @@ class ViewManager:
             # maintenance work.
             yield self.env.timeout(
                 self.config.propagation_delay.sample(self._rng))
+            self._maybe_crash(coordinator, view, key, base_ts)
 
             update_values = {
                 column: (None if cell.tombstone else cell.value)
@@ -251,6 +306,29 @@ class ViewManager:
             self.cluster.trace("propagation", "completed", view=view.name,
                                key=key, ts=base_ts)
             completion.succeed()
+        except CoordinatorCrashError as exc:
+            # The injected crash models a coordinator dying with the
+            # propagation only in its volatile state: the work is simply
+            # lost (no retry, no escalation) — exactly the divergence the
+            # repair subsystem (repro.repair) exists to detect and heal.
+            self.lost_propagations += 1
+            self.cluster.trace("propagation", "lost to coordinator crash",
+                               view=view.name, key=key, ts=base_ts)
+            if not completion.triggered:
+                completion.fail(exc)
+                completion._defused = True
+        except PropagationError as exc:
+            # Retries exhausted: the chain entry point this propagation
+            # needs never appeared — e.g. its predecessor's propagation
+            # was itself lost to a crash, so no guess is ever valid.
+            # Give up quietly; the row is now diverged and the scrubber
+            # re-drives it from the NULL anchor.
+            self.abandoned_propagations += 1
+            self.cluster.trace("propagation", "abandoned after retries",
+                               view=view.name, key=key, ts=base_ts)
+            if not completion.triggered:
+                completion.fail(exc)
+                completion._defused = True
         except Exception as exc:
             if not completion.triggered:
                 completion.fail(exc)
@@ -395,47 +473,66 @@ class ViewManager:
 
     # -- backfill (views defined over populated tables) --------------------------------
 
-    def backfill(self, view_name: str, coordinator_id: int = 0):
+    def backfill(self, view_name: str, coordinator_id: int = 0,
+                 batch_size: int = 64, batch_pause: float = 0.0):
         """Build a view's contents from existing base rows; a process.
 
         Registering a view over a populated base table requires an
         initial load (the paper assumes views start correctly
         initialized).  Each base row's current view-key and materialized
-        cells are propagated through the normal maintenance machinery, so
-        the resulting versioned view is exactly what incremental
-        maintenance would have produced.
+        cells are propagated through the normal maintenance machinery
+        (:func:`~repro.repair.repairer.repropagate_row` — backfill is a
+        repair of every row against an empty view), so the resulting
+        versioned view is exactly what incremental maintenance would
+        have produced.
+
+        The scan is incremental: rows are loaded in ``batch_size``
+        batches with a ``batch_pause`` yield between them, so concurrent
+        traffic interleaves instead of stalling behind one monolithic
+        scan.  Returns a :class:`BackfillReport`; keys whose replicas
+        were all unreachable are reported in ``skipped`` rather than
+        silently dropped.
         """
+        from repro.repair.repairer import repropagate_row  # late: no cycle
+
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_pause < 0:
+            raise ValueError("batch_pause must be non-negative")
         view = self.view(view_name)
         coordinator = self.cluster.coordinator(coordinator_id)
         keys = set()
         for node in self.cluster.nodes:
             if not node.is_down and node.engine.has_table(view.base_table):
                 keys.update(node.engine.keys(view.base_table))
-        loaded = 0
-        for key in sorted(keys, key=repr):
-            columns = (view.view_key_column, *view.materialized_columns)
-            merged = yield from coordinator.get(
-                view.base_table, key, columns,
-                min(self.config.replication_factor, self.config.nodes))
-            key_cell = merged[view.view_key_column]
-            if key_cell.timestamp < 0:
-                continue
-            pristine = [ViewKeyGuess.from_cell(view, None)]
-            # Propagate the view-key cell at its own timestamp, then each
-            # materialized cell at its own timestamp.
-            yield from self._propagate_with_retries(
-                coordinator, view, view.base_table, key, list(pristine),
-                {view.view_key_column: (None if key_cell.tombstone
-                                        else key_cell.value)},
-                key_cell.timestamp)
-            for column in view.materialized_columns:
-                cell = merged[column]
-                if cell.timestamp < 0:
+        ordered = sorted(keys, key=repr)
+        report = BackfillReport()
+        skipped: List[Hashable] = []
+        full = min(self.config.replication_factor, self.config.nodes)
+        for start in range(0, len(ordered), batch_size):
+            if start:
+                # Yield between batches: lets queued traffic run even at
+                # a zero pause (same-instant events fire FIFO).
+                yield self.env.timeout(batch_pause)
+            report.batches += 1
+            for key in ordered[start:start + batch_size]:
+                replicas = self.cluster.replicas_for(view.base_table, key)
+                alive = sum(1 for replica in replicas if not replica.is_down)
+                if alive == 0:
+                    skipped.append(key)
                     continue
-                guesses = [ViewKeyGuess.from_cell(view, key_cell)]
-                yield from self._propagate_with_retries(
-                    coordinator, view, view.base_table, key, guesses,
-                    {column: (None if cell.tombstone else cell.value)},
-                    cell.timestamp)
-            loaded += 1
-        return loaded
+                try:
+                    # Read every reachable replica: backfill wants the
+                    # freshest base state it can see.
+                    loaded = yield from repropagate_row(
+                        self, coordinator, view, key, r=min(full, alive))
+                except QuorumError:
+                    skipped.append(key)
+                    continue
+                if loaded:
+                    report.loaded += 1
+        report.skipped = tuple(skipped)
+        self.cluster.trace("backfill", "completed", view=view_name,
+                           loaded=report.loaded, batches=report.batches,
+                           skipped=len(report.skipped))
+        return report

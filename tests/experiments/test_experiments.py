@@ -163,6 +163,20 @@ def test_crossover_quick(quick):
     assert si[1.0] > mv[1.0]   # SI wins pure writes
 
 
+def test_ext_repair_quick(quick):
+    from repro.experiments import ext_repair
+
+    result = ext_repair.run(quick)
+    off = [row[2] for row in result.rows if row[0] == "off"]
+    on = [row[2] for row in result.rows if row[0] == "on"]
+    assert len(off) == len(on) > 0
+    # Unscrubbed, crash-induced divergence persists to the end of the
+    # run; scrubbed, it is fully repaired.
+    assert off[-1] >= 1
+    assert on[-1] == 0
+    assert "time-to-convergence" in (result.notes or "")
+
+
 def test_mixed_op_fraction_validated():
     from repro.workloads import mixed_op
 

@@ -1,0 +1,126 @@
+"""Targeted chaos: coordinator-only storms and deterministic
+mid-propagation crashes."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.chaos import ChaosMonkey
+from repro.repair import divergent_base_keys
+
+from tests.repair.conftest import VIEW, build, populate, run_for
+from tests.views.conftest import make_config
+
+
+def test_targets_validated():
+    cluster = build()
+    with pytest.raises(Exception):
+        ChaosMonkey(cluster, targets=[99], auto=False)
+
+
+def test_targets_restrict_victims():
+    cluster = build()
+    monkey = ChaosMonkey(cluster, targets=[2])
+    down_seen = set()
+
+    def watch():
+        while cluster.env.now < 600.0:
+            down_seen.update(monkey.down_nodes)
+            yield cluster.env.timeout(1.0)
+
+    cluster.env.process(watch())
+    run_for(cluster, 600.0)
+    monkey.stop()
+    cluster.run_until_idle()
+    assert monkey.kills >= 2
+    assert down_seen == {2}
+
+
+def test_auto_false_injects_nothing_spontaneously():
+    cluster = build()
+    monkey = ChaosMonkey(cluster, auto=False)
+    run_for(cluster, 500.0)
+    assert monkey.kills == 0
+    assert all(not node.is_down for node in cluster.nodes)
+
+
+def test_crash_during_propagation_requires_view_manager():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    monkey = ChaosMonkey(cluster, auto=False)
+    with pytest.raises(ValueError):
+        monkey.crash_during_propagation()
+
+
+def test_crash_count_validated():
+    cluster = build()
+    monkey = ChaosMonkey(cluster, auto=False)
+    with pytest.raises(ValueError):
+        monkey.crash_during_propagation(count=0)
+
+
+def test_crash_loses_exactly_count_propagations():
+    cluster = build()
+    populate(cluster, 6)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(count=2, downtime=10.0)
+    client = cluster.sync_client()
+    for i in range(5):
+        # Rotate coordinators so the workload survives the crashes.
+        handle = cluster.sync_client(coordinator_id=(i + 1) % 4)
+        handle.put("T", i, {"vk": "new"}, w=2, timestamp=100 + i)
+        run_for(cluster, 60.0)
+    monkey.stop()
+    cluster.run_until_idle()
+    manager = cluster.view_manager
+    assert manager.lost_propagations == 2
+    assert monkey.kills == 2
+    assert monkey.recoveries == 2
+    # Exactly the two crashed propagations diverged; the rest landed.
+    assert len(divergent_base_keys(cluster, VIEW)) == 2
+    del client
+
+
+def test_crash_filters_by_view_and_key():
+    cluster = build()
+    populate(cluster, 4)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(view_name="V", base_key=3,
+                                    count=1, downtime=10.0)
+    client = cluster.sync_client(coordinator_id=1)
+    client.put("T", 0, {"vk": "safe"}, w=2, timestamp=100)
+    run_for(cluster, 60.0)
+    assert cluster.view_manager.lost_propagations == 0  # filter skipped it
+    client.put("T", 3, {"vk": "doomed"}, w=2, timestamp=101)
+    run_for(cluster, 60.0)
+    monkey.stop()
+    cluster.run_until_idle()
+    assert cluster.view_manager.lost_propagations == 1
+    assert divergent_base_keys(cluster, VIEW) == [3]
+
+
+def test_crash_hook_disarms_after_stop():
+    cluster = build()
+    populate(cluster, 4)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(count=5, downtime=10.0)
+    monkey.stop()
+    client = cluster.sync_client(coordinator_id=1)
+    client.put("T", 1, {"vk": "fine"}, w=2, timestamp=100)
+    cluster.run_until_idle()
+    assert cluster.view_manager.lost_propagations == 0
+    assert divergent_base_keys(cluster, VIEW) == []
+
+
+def test_crashed_propagation_does_not_error_the_simulation():
+    """A lost propagation must fail quietly (counted, traced) — not
+    escalate into a simulation-level ProcessError."""
+    cluster = build()
+    populate(cluster, 2)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(count=1, downtime=10.0)
+    client = cluster.sync_client(coordinator_id=1)
+    client.put("T", 0, {"vk": "x"}, w=2, timestamp=100)
+    run_for(cluster, 100.0)
+    monkey.stop()
+    cluster.run_until_idle()  # would raise if the failure escaped
+    assert cluster.view_manager.lost_propagations == 1

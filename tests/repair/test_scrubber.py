@@ -1,0 +1,200 @@
+"""End-to-end scrubber tests: detect, repair, and operator controls."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.repair import ViewScrubber, divergent_base_keys
+from repro.views import check_view
+
+from tests.repair.conftest import (
+    VIEW,
+    build,
+    lose_one_propagation,
+    populate,
+    run_for,
+)
+from tests.views.conftest import make_config
+
+
+def test_constructor_validation():
+    cluster = build()
+    with pytest.raises(ValueError):
+        ViewScrubber(cluster, interval=0)
+    with pytest.raises(ValueError):
+        ViewScrubber(cluster, row_budget=0)
+    with pytest.raises(ValueError):
+        ViewScrubber(cluster, range_depth=21)
+    with pytest.raises(ValueError):
+        ViewScrubber(cluster, rate_limit=-1)
+    with pytest.raises(ValueError):
+        ViewScrubber(cluster, degraded_backoff=0.5)
+    with pytest.raises(ValueError, match="unknown view"):
+        ViewScrubber(cluster, view_names=["NOPE"])
+
+
+def test_defaults_come_from_cluster_config():
+    cluster = build(scrub_interval=123.0, scrub_row_budget=7,
+                    scrub_range_depth=5, scrub_rate_limit=0.25,
+                    scrub_degraded_backoff=2.5)
+    scrubber = cluster.start_scrubber()
+    assert scrubber.interval == 123.0
+    assert scrubber.row_budget == 7
+    assert scrubber.range_depth == 5
+    assert scrubber.rate_limit == 0.25
+    assert scrubber.degraded_backoff == 2.5
+    assert cluster.scrubbers == [scrubber]
+
+
+def test_clean_view_costs_only_digest_comparisons():
+    cluster = build()
+    populate(cluster, 10)
+    scrubber = cluster.start_scrubber(interval=20.0)
+    run_for(cluster, 200.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    metrics = scrubber.metrics
+    assert metrics.rounds >= 5
+    assert metrics.rows_scanned == 0  # every range skipped via digests
+    assert metrics.ranges_compared > 0
+    assert metrics.ranges_skipped_clean == metrics.ranges_compared
+    assert metrics.clean_rounds == metrics.rounds
+
+
+def test_scrubber_repairs_lost_propagation():
+    cluster = build()
+    populate(cluster, 12)
+    lose_one_propagation(cluster, key=5, ts=100)
+    assert cluster.view_manager.lost_propagations == 1
+    assert divergent_base_keys(cluster, VIEW) == [5]
+
+    scrubber = cluster.start_scrubber(interval=20.0, rate_limit=0.05)
+    run_for(cluster, 400.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+
+    assert divergent_base_keys(cluster, VIEW) == []
+    assert check_view(cluster, VIEW) == []
+    metrics = scrubber.metrics
+    assert metrics.divergences_found >= 1
+    assert metrics.repairs_applied >= 1
+    assert metrics.repair_failures == 0
+    assert metrics.time_to_convergence() is not None
+    assert metrics.time_to_convergence() > 0
+    # The repaired row answers reads under its new key.
+    reader = cluster.sync_client()
+    assert [r.base_key for r in reader.get_view("V", "lost", ["m"])] == [5]
+
+
+def test_scrubber_is_idempotent_after_convergence():
+    cluster = build()
+    populate(cluster, 8)
+    lose_one_propagation(cluster, key=3, ts=100)
+    scrubber = cluster.start_scrubber(interval=20.0)
+    run_for(cluster, 300.0)
+    repaired = scrubber.metrics.repairs_applied
+    assert repaired >= 1
+    run_for(cluster, 300.0)  # many more rounds on a converged view
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert scrubber.metrics.repairs_applied == repaired
+    assert check_view(cluster, VIEW) == []
+
+
+def test_pause_and_resume():
+    cluster = build()
+    populate(cluster, 8)
+    scrubber = cluster.start_scrubber(interval=20.0)
+    scrubber.pause()
+    assert scrubber.paused
+    lose_one_propagation(cluster, key=2, ts=100)
+    run_for(cluster, 200.0)
+    assert scrubber.metrics.skipped_rounds >= 5
+    assert divergent_base_keys(cluster, VIEW) == [2]  # untouched while paused
+    scrubber.resume()
+    assert not scrubber.paused
+    run_for(cluster, 300.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert divergent_base_keys(cluster, VIEW) == []
+
+
+def test_degraded_cluster_backs_off():
+    cluster = build()
+    populate(cluster, 6)
+    scrubber = cluster.start_scrubber(interval=20.0, degraded_backoff=4.0)
+    run_for(cluster, 200.0)
+    healthy_rounds = scrubber.metrics.rounds
+    cluster.fail_node(3)
+    run_for(cluster, 200.0)
+    degraded_rounds = scrubber.metrics.rounds - healthy_rounds
+    scrubber.stop()
+    cluster.recover_node(3)
+    cluster.run_until_idle()
+    assert scrubber.metrics.backoff_rounds >= 1
+    # 4x the interval => roughly a quarter of the round rate.
+    assert degraded_rounds < healthy_rounds
+
+
+def test_scrubber_avoids_down_coordinator():
+    cluster = build()
+    populate(cluster, 6)
+    lose_one_propagation(cluster, key=1, ts=100)
+    cluster.fail_node(0)  # the preferred coordinator
+    scrubber = cluster.start_scrubber(interval=20.0, coordinator_id=0)
+    run_for(cluster, 600.0)
+    scrubber.stop()
+    cluster.recover_node(0)
+    cluster.run_until_idle()
+    cluster.env.run(until=cluster.repair_table("T"))
+    cluster.run_until_idle()
+    assert divergent_base_keys(cluster, VIEW) == []
+
+
+def test_budget_spreads_many_divergences_over_rounds():
+    cluster = build()
+    populate(cluster, 12)
+    for key in range(12):
+        lose_one_propagation(cluster, key=key, ts=100 + key)
+    assert len(divergent_base_keys(cluster, VIEW)) == 12
+    scrubber = cluster.start_scrubber(interval=20.0, row_budget=3,
+                                      rate_limit=0.05)
+    run_for(cluster, 1_500.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert divergent_base_keys(cluster, VIEW) == []
+    assert check_view(cluster, VIEW) == []
+    metrics = scrubber.metrics
+    assert metrics.repairs_applied >= 12
+    assert metrics.rounds >= 4  # the budget forced multiple rounds
+
+
+def test_metrics_flow_into_cluster_snapshot():
+    from repro.cluster.metrics import ClusterSnapshot, UtilizationTracker
+
+    cluster = build()
+    populate(cluster, 8)
+    lose_one_propagation(cluster, key=4, ts=100)
+    scrubber = cluster.start_scrubber(interval=20.0)
+    tracker = UtilizationTracker(cluster)
+    tracker.start()
+    run_for(cluster, 300.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    end = ClusterSnapshot.capture(cluster)
+    assert end.lost_propagations == 1
+    assert end.scrub_rows_scanned >= 1
+    assert end.scrub_divergences_found >= 1
+    assert end.scrub_repairs_applied >= 1
+    report = tracker.stop()
+    assert report.scrub_repairs >= 1
+
+
+def test_round_without_views_is_skipped():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    scrubber = ViewScrubber(cluster, interval=20.0)
+    run_for(cluster, 100.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert scrubber.metrics.rounds >= 1
+    assert scrubber.metrics.rounds == scrubber.metrics.skipped_rounds

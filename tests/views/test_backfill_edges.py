@@ -24,7 +24,9 @@ def backfill(cluster, name):
 def test_backfill_empty_table():
     cluster, _client = build()
     cluster.create_view(ViewDefinition("V", "T", "vk"))
-    assert backfill(cluster, "V") == 0
+    report = backfill(cluster, "V")
+    assert report.loaded == 0
+    assert report.skipped == ()
 
 
 def test_backfill_skips_rows_without_view_key():
@@ -34,7 +36,7 @@ def test_backfill_skips_rows_without_view_key():
     client.settle()
     view = ViewDefinition("LATE", "T", "vk")
     cluster.create_view(view)
-    assert backfill(cluster, "LATE") == 1
+    assert backfill(cluster, "LATE").loaded == 1
     assert [r.base_key for r in client.get_view("LATE", "a", ["B"])] == [1]
     assert check_view(cluster, view) == []
 
@@ -47,7 +49,7 @@ def test_backfill_with_materialized_columns_and_tombstones():
     client.settle()
     view = ViewDefinition("LATE", "T", "vk", ("m",))
     cluster.create_view(view)
-    assert backfill(cluster, "LATE") == 2
+    assert backfill(cluster, "LATE").loaded == 2
     rows = {r.base_key: r["m"] for r in client.get_view("LATE", "a", ["m"])}
     assert rows == {1: None, 2: "y"}
     assert check_view(cluster, view) == []
@@ -83,6 +85,72 @@ def test_backfill_then_incremental_updates_compose():
     assert old_rows == {1: 100, 2: 2, 3: 3, 4: 4}
     assert [r["m"] for r in client.get_view("LATE", "new", ["m"])] == [0]
     assert check_view(cluster, view) == []
+
+
+def test_backfill_batches_with_pause():
+    cluster, client = build()
+    for i in range(10):
+        client.put("T", i, {"vk": "a"}, w=3)
+    client.settle()
+    view = ViewDefinition("LATE", "T", "vk")
+    cluster.create_view(view)
+    start = cluster.env.now
+    process = cluster.env.process(cluster.view_manager.backfill(
+        "LATE", batch_size=3, batch_pause=50.0))
+    report = cluster.env.run(until=process)
+    cluster.run_until_idle()
+    assert report.loaded == 10
+    assert report.batches == 4
+    assert report.skipped == ()
+    assert cluster.env.now - start >= 150.0  # three inter-batch pauses
+    assert check_view(cluster, view) == []
+
+
+def test_backfill_validates_arguments():
+    cluster, _client = build()
+    cluster.create_view(ViewDefinition("V", "T", "vk"))
+    manager = cluster.view_manager
+
+    def proc():
+        with pytest.raises(ValueError):
+            yield from manager.backfill("V", batch_size=0)
+        with pytest.raises(ValueError):
+            yield from manager.backfill("V", batch_pause=-1.0)
+
+    process = cluster.env.process(proc())
+    cluster.env.run(until=process)
+
+
+def test_backfill_reports_keys_with_all_replicas_down():
+    """A key whose replica set goes fully down mid-scan lands in
+    ``report.skipped`` instead of being silently dropped."""
+    cluster, client = build()
+    client.put("T", 1, {"vk": "a"}, w=3)
+    client.put("T", 2, {"vk": "b"}, w=3)
+    client.settle()
+    cluster.create_view(ViewDefinition("LATE", "T", "vk"))
+    doomed = {node.node_id for node in cluster.replicas_for("T", 2)}
+    coordinator_id = next(node.node_id for node in cluster.nodes
+                          if node.node_id not in doomed)
+    env = cluster.env
+
+    def saboteur():
+        # Key 1 is loaded in the first batch; all of key 2's replicas
+        # fail during the inter-batch pause.
+        yield env.timeout(50.0)
+        for node_id in doomed:
+            cluster.fail_node(node_id)
+
+    env.process(saboteur())
+    process = env.process(cluster.view_manager.backfill(
+        "LATE", coordinator_id=coordinator_id,
+        batch_size=1, batch_pause=100.0))
+    report = env.run(until=process)
+    for node_id in doomed:
+        cluster.recover_node(node_id)
+    cluster.run_until_idle()
+    assert report.loaded == 1
+    assert report.skipped == (2,)
 
 
 def test_two_views_one_put_two_propagations():
