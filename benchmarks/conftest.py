@@ -21,19 +21,25 @@ def params() -> ExperimentParams:
     return ExperimentParams()
 
 
-def run_figure(benchmark, run_fn, capsys=None):
+def run_figure(benchmark, run_fn, capsys):
     """Execute one experiment under the benchmark and print its table.
 
     The table is the deliverable (it mirrors the paper's figure), so it
     must reach the terminal even though pytest captures stdout of
-    passing tests — pass the test's ``capsys`` to print uncaptured.
+    passing tests — every fig benchmark passes its ``capsys`` fixture
+    and the table prints uncaptured.  ``capsys`` is required (not
+    defaulted to ``None``) so a new benchmark cannot silently print
+    into the captured-and-discarded stream.
+
+    An empty table means the experiment produced no rows — that is a
+    broken figure regardless of what the benchmark's own assertions
+    check, so it fails here for every figure uniformly.
     """
     result = benchmark.pedantic(run_fn, rounds=1, iterations=1)
-    if capsys is not None:
-        with capsys.disabled():
-            print()
-            print(result.format_table())
-    else:
+    table = result.format_table()
+    assert table and table.strip(), "figure produced an empty table"
+    assert len(result.rows) > 0, "figure produced no data rows"
+    with capsys.disabled():
         print()
-        print(result.format_table())
+        print(table)
     return result

@@ -1,0 +1,41 @@
+"""Standing performance harness: ``python -m repro.bench``.
+
+The ROADMAP's north star is a system that runs as fast as the hardware
+allows; this package makes that claim measurable and regression-gated.
+A fixed suite of *topics* — microbenchmarks over the simulator's hot
+paths and macrobenchmarks over the paper-shaped workloads — runs under
+wall-clock timing and emits one ``BENCH_<topic>.json`` per topic with a
+machine-readable payload (see :mod:`repro.bench.harness` for the
+schema).  ``python -m repro.bench compare`` diffs two runs and fails on
+throughput regressions, which is what CI gates on.
+
+The headline metric is **simulated ops per wall second**: how much
+simulated cluster work one real second of CPU buys.  The simulated
+workload itself is deterministic (fixed seeds), so two runs of the same
+tree differ only in wall time — the committed ``BENCH_*.json`` files
+form a perf trajectory PR over PR.
+"""
+
+from repro.bench.compare import CompareResult, TopicDelta, compare_documents
+from repro.bench.harness import (
+    BenchParams,
+    TopicResult,
+    all_topics,
+    bench_filename,
+    deterministic_payload,
+    run_topic,
+    write_document,
+)
+
+__all__ = [
+    "BenchParams",
+    "TopicResult",
+    "CompareResult",
+    "TopicDelta",
+    "all_topics",
+    "bench_filename",
+    "compare_documents",
+    "deterministic_payload",
+    "run_topic",
+    "write_document",
+]

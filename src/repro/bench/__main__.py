@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Run the suite (writes one ``BENCH_<topic>.json`` per topic)::
+
+    python -m repro.bench [--quick] [--out DIR] [--topic NAME ...]
+
+Diff two runs (files or directories of ``BENCH_*.json``)::
+
+    python -m repro.bench compare BEFORE AFTER [--threshold 0.2]
+
+``compare`` exits 1 when any common topic's simulated-ops-per-wall-
+second dropped by more than the threshold — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_paths
+from repro.bench.harness import (
+    BenchParams,
+    all_topics,
+    git_sha,
+    run_topic,
+    write_document,
+)
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the standing benchmark suite.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload sizes (the CI configuration)")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for BENCH_<topic>.json files "
+                             "(default: current directory)")
+    parser.add_argument("--topic", action="append", default=None,
+                        metavar="NAME", choices=all_topics(),
+                        help="run only this topic (repeatable; "
+                             f"choices: {', '.join(all_topics())})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the simulated workloads")
+    return parser
+
+
+def _compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two benchmark runs; exit 1 on regression.")
+    parser.add_argument("before", type=Path,
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("after", type=Path,
+                        help="candidate BENCH_*.json file or directory")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fail when ops/wall-sec drops by more than "
+                             "this fraction (default %(default)s)")
+    return parser
+
+
+def _cmd_run(argv) -> int:
+    args = _run_parser().parse_args(argv)
+    params = BenchParams(quick=args.quick, seed=args.seed)
+    topics = args.topic or all_topics()
+    sha = git_sha()
+    failures = 0
+    for name in topics:
+        try:
+            document = run_topic(name, params, sha=sha)
+        except Exception as exc:  # keep the suite going; report at exit
+            failures += 1
+            print(f"{name:<20} FAILED: {exc!r}", file=sys.stderr)
+            continue
+        path = write_document(document, args.out)
+        print(f"{name:<20} "
+              f"{document['simulated_ops_per_wall_second']:>14.1f} ops/s "
+              f"(wall {document['wall_seconds']:.2f}s, "
+              f"{document['simulated_ops']} ops) -> {path}")
+    return 1 if failures else 0
+
+
+def _cmd_compare(argv) -> int:
+    args = _compare_parser().parse_args(argv)
+    result, table = compare_paths(args.before, args.after, args.threshold)
+    print(table)
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return _cmd_compare(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return _cmd_run(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Diff two benchmark runs and flag throughput regressions.
+
+``compare_documents`` matches topics by name and compares the headline
+``simulated_ops_per_wall_second``.  A topic regresses when its after/
+before ratio drops below ``1 - threshold`` (default threshold 0.20, the
+CI gate).  Topics present on only one side are reported but are not
+failures — the suite is allowed to grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "TopicDelta",
+    "CompareResult",
+    "compare_documents",
+    "load_documents",
+]
+
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class TopicDelta:
+    """One topic's before/after throughput comparison."""
+
+    topic: str
+    before_ops_per_wall_second: float
+    after_ops_per_wall_second: float
+
+    @property
+    def ratio(self) -> float:
+        """after / before (> 1 means the topic got faster)."""
+        if self.before_ops_per_wall_second <= 0:
+            return float("inf")
+        return (self.after_ops_per_wall_second
+                / self.before_ops_per_wall_second)
+
+    def regressed(self, threshold: float) -> bool:
+        """True if throughput dropped more than ``threshold``."""
+        return self.ratio < 1.0 - threshold
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing two runs."""
+
+    deltas: List[TopicDelta] = field(default_factory=list)
+    only_before: List[str] = field(default_factory=list)
+    only_after: List[str] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def regressions(self) -> List[TopicDelta]:
+        """Deltas that breach the threshold."""
+        return [delta for delta in self.deltas
+                if delta.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        """True when no topic regressed beyond the threshold."""
+        return not self.regressions
+
+    def format_table(self) -> str:
+        """A human-readable summary of every delta."""
+        lines = [f"{'topic':<20} {'before':>14} {'after':>14} "
+                 f"{'ratio':>7}  verdict"]
+        for delta in self.deltas:
+            verdict = ("REGRESSION" if delta.regressed(self.threshold)
+                       else ("faster" if delta.ratio >= 1.0 else "slower"))
+            lines.append(
+                f"{delta.topic:<20} "
+                f"{delta.before_ops_per_wall_second:>14.1f} "
+                f"{delta.after_ops_per_wall_second:>14.1f} "
+                f"{delta.ratio:>6.2f}x  {verdict}")
+        for topic in self.only_before:
+            lines.append(f"{topic:<20} (removed: present only in before run)")
+        for topic in self.only_after:
+            lines.append(f"{topic:<20} (new: present only in after run)")
+        lines.append(
+            f"threshold: fail below {1.0 - self.threshold:.2f}x; "
+            + ("OK" if self.ok
+               else f"{len(self.regressions)} regression(s)"))
+        return "\n".join(lines)
+
+
+def load_documents(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Load ``BENCH_*.json`` documents from a file or a directory.
+
+    A file path loads that single document; a directory loads every
+    ``BENCH_*.json`` inside it.  Returns ``{topic: document}``.
+    """
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob("BENCH_*.json"))
+        if not files:
+            raise FileNotFoundError(f"no BENCH_*.json files in {path}")
+    else:
+        files = [path]
+    documents: Dict[str, Dict[str, Any]] = {}
+    for file in files:
+        document = json.loads(file.read_text())
+        documents[document["topic"]] = document
+    return documents
+
+
+def compare_documents(before: Dict[str, Dict[str, Any]],
+                      after: Dict[str, Dict[str, Any]],
+                      threshold: float = DEFAULT_THRESHOLD) -> CompareResult:
+    """Compare two ``{topic: document}`` maps."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    result = CompareResult(threshold=threshold)
+    for topic in sorted(set(before) | set(after)):
+        if topic not in after:
+            result.only_before.append(topic)
+        elif topic not in before:
+            result.only_after.append(topic)
+        else:
+            result.deltas.append(TopicDelta(
+                topic,
+                float(before[topic]["simulated_ops_per_wall_second"]),
+                float(after[topic]["simulated_ops_per_wall_second"])))
+    return result
+
+
+def compare_paths(before_path: Path, after_path: Path,
+                  threshold: float = DEFAULT_THRESHOLD
+                  ) -> Tuple[CompareResult, str]:
+    """Convenience wrapper: load, compare, and format."""
+    result = compare_documents(load_documents(before_path),
+                               load_documents(after_path), threshold)
+    return result, result.format_table()

@@ -1,0 +1,166 @@
+"""Benchmark harness core: topic registry, timing, and the JSON schema.
+
+Every topic is a function ``(params: BenchParams) -> TopicResult`` that
+performs a fixed, deterministic amount of simulated work and reports how
+much.  The harness wall-times the call and emits one document per topic:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "topic": "fig6_write",
+      "kind": "macro",
+      "params": {"rows": 2000, "...": "..."},
+      "simulated_ops": 9181,
+      "simulated_duration_ms": 3000.0,
+      "propagation_latency": {"mean_ms": 1.93, "p99_ms": 4.1},
+      "metrics": {"...": "..."},
+      "wall_seconds": 2.41,
+      "simulated_ops_per_wall_second": 3809.5,
+      "git_sha": "9ad1421..."
+    }
+
+Everything except ``wall_seconds``, ``simulated_ops_per_wall_second``
+and ``git_sha`` is a pure function of ``params`` (fixed RNG seeds, no
+wall-clock coupling): :func:`deterministic_payload` strips exactly those
+three keys, and ``tests/bench`` asserts the remainder is byte-identical
+across runs.  Documents are written as ``BENCH_<topic>.json`` with
+sorted keys so committed baselines diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NONDETERMINISTIC_KEYS",
+    "BenchParams",
+    "TopicResult",
+    "all_topics",
+    "bench_filename",
+    "deterministic_payload",
+    "git_sha",
+    "run_topic",
+    "write_document",
+]
+
+SCHEMA_VERSION = 1
+
+# Keys that legitimately differ between two runs of the same tree: wall
+# time, everything derived from wall time, and the checkout identity.
+NONDETERMINISTIC_KEYS = ("wall_seconds", "simulated_ops_per_wall_second",
+                         "git_sha")
+
+
+@dataclass(frozen=True)
+class BenchParams:
+    """Suite-wide knobs; topic functions derive their sizes from these."""
+
+    quick: bool = False
+    seed: int = 0
+
+    def scaled(self, quick_value: int, full_value: int) -> int:
+        """Pick a workload size for the current mode."""
+        return quick_value if self.quick else full_value
+
+
+@dataclass
+class TopicResult:
+    """What one topic reports back to the harness.
+
+    ``simulated_ops`` is the deterministic unit of work (client
+    operations, propagations, rows scanned — the topic's docstring says
+    which); ``propagation_latency`` is in *simulated* ms where the topic
+    can measure it, else ``None``.
+    """
+
+    simulated_ops: int
+    params: Dict[str, Any]
+    simulated_duration_ms: Optional[float] = None
+    propagation_latency: Optional[Dict[str, float]] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+TopicFn = Callable[[BenchParams], TopicResult]
+
+
+def _registry() -> Dict[str, Tuple[str, TopicFn]]:
+    # Imported late so ``repro.bench`` stays importable even if an
+    # experiment module is broken; the CLI reports per-topic failures.
+    from repro.bench import macro, micro
+
+    topics: Dict[str, Tuple[str, TopicFn]] = {}
+    for name, fn in micro.TOPICS.items():
+        topics[name] = ("micro", fn)
+    for name, fn in macro.TOPICS.items():
+        topics[name] = ("macro", fn)
+    return topics
+
+
+def all_topics() -> List[str]:
+    """Every registered topic name, micro suite first."""
+    return list(_registry())
+
+
+def git_sha() -> str:
+    """The current checkout's commit sha (``unknown`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, check=False)
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_topic(name: str, params: BenchParams,
+              sha: Optional[str] = None) -> Dict[str, Any]:
+    """Execute one topic and return its full document."""
+    kind, fn = _registry()[name]
+    start = time.perf_counter()
+    result = fn(params)
+    wall = time.perf_counter() - start
+    wall = max(wall, 1e-9)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "topic": name,
+        "kind": kind,
+        "params": dict(result.params, seed=params.seed, quick=params.quick),
+        "simulated_ops": result.simulated_ops,
+        "simulated_duration_ms": result.simulated_duration_ms,
+        "propagation_latency": result.propagation_latency,
+        "metrics": result.metrics,
+        "wall_seconds": round(wall, 6),
+        "simulated_ops_per_wall_second": round(result.simulated_ops / wall, 3),
+        "git_sha": sha if sha is not None else git_sha(),
+    }
+
+
+def deterministic_payload(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The document minus its wall-clock-dependent keys.
+
+    Two runs of the same tree with the same params must agree on this
+    byte-for-byte (``json.dumps(..., sort_keys=True)``).
+    """
+    return {key: value for key, value in document.items()
+            if key not in NONDETERMINISTIC_KEYS}
+
+
+def bench_filename(topic: str) -> str:
+    """The canonical on-disk name for a topic's document."""
+    return f"BENCH_{topic}.json"
+
+
+def write_document(document: Dict[str, Any], out_dir: Path) -> Path:
+    """Write one document as ``BENCH_<topic>.json`` under ``out_dir``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / bench_filename(document["topic"])
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,235 @@
+"""Macrobenchmark topics: scaled versions of the paper's evaluation.
+
+These reuse the experiment scenario builders so the measured system is
+exactly what figures 4/6 and extension E2 run, at benchmark-friendly
+sizes:
+
+- ``fig4_read`` — closed-loop read throughput, base table vs
+  materialized view (the paper's Figure 4 axis);
+- ``fig6_write`` — closed-loop secondary-key write throughput with
+  asynchronous view maintenance (Figure 6), including how long the
+  propagation backlog takes to drain;
+- ``ext_repair_scrub`` — scrub throughput of the background view
+  scrubber healing crash-induced base/view divergence (extension E2).
+
+``simulated_ops`` counts completed client operations (or, for the
+scrubber, rows scanned) — dividing by wall seconds gives the headline
+simulated-ops-per-wall-second figure.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchParams, TopicResult
+
+__all__ = ["TOPICS"]
+
+
+def _sizes(params: BenchParams) -> dict:
+    return {
+        "rows": params.scaled(300, 2_000),
+        "duration": float(params.scaled(300, 1_500)),
+        "warmup": float(params.scaled(50, 250)),
+        "clients": params.scaled(4, 8),
+        "payload_length": 16,
+    }
+
+
+def fig4_read(params: BenchParams) -> TopicResult:
+    """Figure-4-shaped read throughput: BT and MV closed-loop reads."""
+    from repro.experiments.calibration import experiment_config
+    from repro.experiments.scenarios import (
+        PAYLOAD_COLUMN,
+        TABLE,
+        VIEW_NAME,
+        build_scenario,
+        sec_value,
+    )
+    from repro.workloads import (
+        UniformKeys,
+        read_op,
+        run_closed_loop,
+        view_read_op,
+    )
+
+    sizes = _sizes(params)
+    keys = UniformKeys(sizes["rows"])
+    ops_by_scenario = {}
+    total_ops = 0
+    total_sim_ms = 0.0
+    factories = {
+        "bt": lambda: read_op(TABLE, keys, [PAYLOAD_COLUMN]),
+        "mv": lambda: view_read_op(VIEW_NAME, keys, sec_value,
+                                   [PAYLOAD_COLUMN]),
+    }
+    for kind, make_op in factories.items():
+        cluster = build_scenario(kind, experiment_config(params.seed),
+                                 sizes["rows"], sizes["payload_length"])
+        summary = run_closed_loop(cluster, make_op(), sizes["clients"],
+                                  sizes["duration"], sizes["warmup"])
+        ops_by_scenario[kind] = summary.operations
+        total_ops += summary.operations
+        total_sim_ms += summary.duration
+    return TopicResult(
+        simulated_ops=total_ops,
+        params=sizes,
+        simulated_duration_ms=total_sim_ms,
+        metrics={f"{kind}_ops": count
+                 for kind, count in ops_by_scenario.items()},
+    )
+
+
+def fig6_write(params: BenchParams) -> TopicResult:
+    """Figure-6-shaped write throughput: BT and MV secondary-key updates.
+
+    The MV scenario pays asynchronous view maintenance for every update;
+    ``propagation_latency`` reports the simulated ms needed to drain the
+    outstanding propagation backlog once clients stop.
+    """
+    from repro.experiments.calibration import experiment_config
+    from repro.experiments.scenarios import (
+        SEC_COLUMN,
+        TABLE,
+        build_scenario,
+    )
+    from repro.workloads import UniformKeys, run_closed_loop, write_op
+
+    sizes = _sizes(params)
+    keys = UniformKeys(sizes["rows"])
+    metrics = {}
+    total_ops = 0
+    total_sim_ms = 0.0
+    drain_ms = 0.0
+    for kind in ("bt", "mv"):
+        cluster = build_scenario(kind, experiment_config(params.seed),
+                                 sizes["rows"], sizes["payload_length"],
+                                 materialize_payload=False)
+        op = write_op(TABLE, keys, SEC_COLUMN)
+        summary = run_closed_loop(cluster, op, sizes["clients"],
+                                  sizes["duration"], sizes["warmup"])
+        metrics[f"{kind}_ops"] = summary.operations
+        total_ops += summary.operations
+        total_sim_ms += summary.duration
+        if kind == "mv":
+            stopped_at = cluster.env.now
+            cluster.run_until_idle()
+            drain_ms = cluster.env.now - stopped_at
+            manager = cluster.view_manager
+            metrics["completed_propagations"] = manager.completed_propagations
+            metrics["abandoned_propagations"] = manager.abandoned_propagations
+    return TopicResult(
+        simulated_ops=total_ops,
+        params=sizes,
+        simulated_duration_ms=total_sim_ms,
+        propagation_latency={"drain_ms": round(drain_ms, 6)},
+        metrics=metrics,
+    )
+
+
+def ext_repair_scrub(params: BenchParams) -> TopicResult:
+    """Scrub throughput: the view scrubber healing lost propagations.
+
+    Coordinator crashes are injected mid-propagation (the paper's
+    Section VIII caveat), then the background scrubber runs for a fixed
+    simulated window.  ``simulated_ops`` counts rows scanned by the
+    scrubber; ``propagation_latency`` reports its time-to-convergence.
+    """
+    from repro.cluster import Cluster
+    from repro.cluster.chaos import ChaosMonkey
+    from repro.errors import NodeDownError, QuorumError
+    from repro.experiments.calibration import experiment_config
+    from repro.views import ViewDefinition
+
+    rows = params.scaled(40, 120)
+    updates = params.scaled(30, 80)
+    crashes = params.scaled(3, 6)
+    duration = float(params.scaled(400, 800))
+    groups = 8
+
+    config = experiment_config(params.seed)
+    cluster = Cluster(config)
+    cluster.create_table("BASE")
+    cluster.create_view(ViewDefinition("BASE_BY_GRP", "BASE", "grp",
+                                       ("val",)))
+    env = cluster.env
+    loader = cluster.client()
+
+    def populate():
+        for key in range(rows):
+            yield from loader.put("BASE", key, {
+                "grp": f"g{key % groups}",
+                "val": f"v0-{key}",
+            }, config.replication_factor, key + 1)
+
+    env.run(until=env.process(populate(), name="bench-populate"))
+    cluster.run_until_idle()
+
+    monkey = ChaosMonkey(cluster, auto=False)
+    stride = max(2, updates // max(1, crashes))
+    seen = [0]
+
+    def every_stride(_view, _key, _base_ts) -> bool:
+        seen[0] += 1
+        return seen[0] % stride == 0
+
+    monkey.crash_during_propagation(count=crashes, downtime=15.0,
+                                    match=every_stride)
+    scrubber = cluster.start_scrubber(["BASE_BY_GRP"], interval=25.0,
+                                      row_budget=max(64, rows),
+                                      rate_limit=0.05)
+    rng = cluster.streams.stream("bench-scrub-workload")
+
+    def workload():
+        clients = {}
+        for i in range(updates):
+            key = rng.randrange(rows)
+            if i % 2 == 0:
+                column, value = "grp", f"g{rng.randrange(groups)}"
+            else:
+                column, value = "val", f"v{i + 1}-{key}"
+            ts = rows + 1 + i
+            for attempt in range(12):
+                coordinator_id = (i + attempt) % config.nodes
+                handle = clients.get(coordinator_id)
+                if handle is None:
+                    handle = cluster.client(coordinator_id=coordinator_id)
+                    clients[coordinator_id] = handle
+                try:
+                    yield from handle.put("BASE", key, {column: value},
+                                          1, ts)
+                except (NodeDownError, QuorumError):
+                    yield env.timeout(5.0)
+                    continue
+                break
+            yield env.timeout(3.0)
+
+    env.process(workload(), name="bench-scrub-workload")
+    start = env.now
+    env.run(until=start + duration)
+    metrics = scrubber.metrics
+    scrubber.stop()
+    monkey.stop()
+    cluster.run_until_idle()
+
+    convergence = metrics.time_to_convergence()
+    return TopicResult(
+        simulated_ops=metrics.rows_scanned,
+        params={"rows": rows, "updates": updates, "crashes": crashes,
+                "duration": duration},
+        simulated_duration_ms=duration,
+        propagation_latency=(
+            {"time_to_convergence_ms": round(convergence, 6)}
+            if convergence is not None else None),
+        metrics={
+            "rounds": metrics.rounds,
+            "divergences_found": metrics.divergences_found,
+            "repairs_applied": metrics.repairs_applied,
+            "lost_propagations": cluster.view_manager.lost_propagations,
+        },
+    )
+
+
+TOPICS = {
+    "fig4_read": fig4_read,
+    "fig6_write": fig6_write,
+    "ext_repair_scrub": ext_repair_scrub,
+}

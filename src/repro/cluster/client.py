@@ -40,9 +40,14 @@ class ClientHandle:
         return self.cluster.coordinator(self.coordinator_id)
 
     def _hop(self):
-        """One-way network delay between this client and its coordinator."""
+        """The timeout for one client<->coordinator network hop.
+
+        ``yield`` the result directly (not ``yield from``): a plain
+        timeout avoids a nested generator per hop, and every operation
+        pays two hops.
+        """
         delay = self.cluster.network.one_way_delay(CLIENT, self.coordinator_id)
-        yield self.cluster.env.timeout(delay)
+        return self.cluster.env.timeout(delay)
 
     def _make_cells(self, values: Dict[ColumnName, Any],
                     timestamp: Optional[int]) -> Tuple[Dict[ColumnName, Cell], int]:
@@ -83,14 +88,14 @@ class ClientHandle:
                 f"{table!r} is a view; views are not updateable "
                 "(paper Section III)")
         cells, ts = self._make_cells(values, timestamp)
-        yield from self._hop()
+        yield self._hop()
         coordinator = self._coordinator()
         if manager is not None and manager.views_affected(table, cells):
             yield from manager.base_put(coordinator, table, key, cells, w,
                                         session=self.session)
         else:
             yield from coordinator.put(table, key, cells, w)
-        yield from self._hop()
+        yield self._hop()
         return ts
 
     def get(self, table: str, key: Hashable,
@@ -101,10 +106,10 @@ class ClientHandle:
         deleted cells read as ``(None, ts)`` per the paper's NULL rule.
         """
         columns = tuple(columns)
-        yield from self._hop()
+        yield self._hop()
         coordinator = self._coordinator()
         merged = yield from coordinator.get(table, key, columns, r)
-        yield from self._hop()
+        yield self._hop()
         return {column: cell.reads_as() for column, cell in merged.items()}
 
     def get_by_index(self, table: str, column: ColumnName, value: Any,
@@ -115,10 +120,10 @@ class ClientHandle:
         scatter-gather path whose cost the paper measures (SI).
         """
         columns = tuple(columns)
-        yield from self._hop()
+        yield self._hop()
         coordinator = self._coordinator()
         merged = yield from coordinator.index_read(table, column, value, columns)
-        yield from self._hop()
+        yield self._hop()
         return {
             key: {col: cell.reads_as() for col, cell in cells.items()}
             for key, cells in merged.items()
@@ -136,12 +141,12 @@ class ClientHandle:
         manager = self.cluster.view_manager
         if manager is None:
             raise SessionError(f"no views defined (wanted {join_name!r})")
-        yield from self._hop()
+        yield self._hop()
         coordinator = self._coordinator()
         results = yield from manager.join_get(
             coordinator, join_name, join_key, tuple(left_columns),
             tuple(right_columns), r, session=self.session)
-        yield from self._hop()
+        yield self._hop()
         return results
 
     def get_view(self, view_name: str, view_key: Any,
@@ -157,12 +162,12 @@ class ClientHandle:
         manager = self.cluster.view_manager
         if manager is None:
             raise SessionError(f"no views defined (wanted {view_name!r})")
-        yield from self._hop()
+        yield self._hop()
         coordinator = self._coordinator()
         results = yield from manager.view_get(coordinator, view_name,
                                               view_key, columns, r,
                                               session=self.session)
-        yield from self._hop()
+        yield self._hop()
         return results
 
 

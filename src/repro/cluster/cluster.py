@@ -9,7 +9,7 @@ non-simulation-aware code such as the examples.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.cluster.antientropy import AntiEntropyService, repair_row, repair_table
 from repro.cluster.config import ClusterConfig
@@ -25,6 +25,9 @@ from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 
 __all__ = ["Cluster"]
+
+# Upper bound on memoized ring placements; cleared wholesale when full.
+_PLACEMENT_CACHE_MAX = 1 << 17
 
 
 class Cluster:
@@ -52,6 +55,8 @@ class Cluster:
             virtual_nodes=self.config.virtual_nodes,
         )
         self.hints = HintService(self, self.config.hint_replay_interval)
+        self._placement_cache: Dict[Tuple[str, Hashable],
+                                    Tuple[StorageNode, ...]] = {}
         self._coordinators = [Coordinator(node, self) for node in self.nodes]
         self._next_client_id = 0
         self._next_coordinator = 0
@@ -77,16 +82,29 @@ class Cluster:
         self.node(node_id)
         return self._coordinators[node_id]
 
-    def replicas_for(self, table: str, key: Hashable) -> List[StorageNode]:
+    def replicas_for(self, table: str, key: Hashable) -> Sequence[StorageNode]:
         """The N replica nodes holding ``table[key]``.
 
         Placement depends only on the key (paper Section II); the table
         name parameterizes the salt so base tables and views spread
         independently.
+
+        Placement is memoized: ring membership and replication factor are
+        fixed for the life of the cluster (crashes toggle ``is_down``,
+        they do not move tokens), and the SHA-256 ring hash is hot on
+        every read and write.  The cache is cleared wholesale if it ever
+        grows past ``_PLACEMENT_CACHE_MAX`` keys.
         """
-        ids = self.ring.preference_list((table, key),
-                                        self.config.replication_factor)
-        return [self.nodes[node_id] for node_id in ids]
+        cache = self._placement_cache
+        replicas = cache.get((table, key))
+        if replicas is None:
+            ids = self.ring.preference_list((table, key),
+                                            self.config.replication_factor)
+            replicas = tuple(self.nodes[node_id] for node_id in ids)
+            if len(cache) >= _PLACEMENT_CACHE_MAX:
+                cache.clear()
+            cache[(table, key)] = replicas
+        return replicas
 
     # -- schema ----------------------------------------------------------------
 

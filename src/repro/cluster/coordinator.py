@@ -84,12 +84,18 @@ class ResponseCollector:
             return
         if self._timed_out:
             return
-        self.responses.append(event._value)
-        ready = [w for w in self._waiters if w[0] <= len(self.responses)]
-        self._waiters = [w for w in self._waiters if w[0] > len(self.responses)]
-        for count, waiter in ready:
-            waiter.succeed(list(self.responses[:count]))
-        if len(self.responses) == self._total:
+        responses = self.responses
+        responses.append(event._value)
+        have = len(responses)
+        if self._waiters:
+            pending = []
+            for count, waiter in self._waiters:
+                if count <= have:
+                    waiter.succeed(responses[:count])
+                else:
+                    pending.append((count, waiter))
+            self._waiters = pending
+        if have == self._total:
             self._settle()
 
     def _on_timeout(self, event: Event) -> None:

@@ -28,7 +28,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest:
     """Apply ``cells`` to the row ``key`` of ``table`` (LWW per cell)."""
 
@@ -37,7 +37,7 @@ class WriteRequest:
     cells: Dict[ColumnName, Cell]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteAck:
     """Acknowledgement of a :class:`WriteRequest`."""
 
@@ -45,7 +45,7 @@ class WriteAck:
     applied: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest:
     """Read the named ``columns`` of row ``key`` in ``table``."""
 
@@ -54,7 +54,7 @@ class ReadRequest:
     columns: Tuple[ColumnName, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResponse:
     """Per-column cells from one replica (``None`` = column absent)."""
 
@@ -62,7 +62,7 @@ class ReadResponse:
     cells: Dict[ColumnName, Optional[Cell]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRowRequest:
     """Read every cell of row ``key`` in ``table`` (wide-row reads)."""
 
@@ -70,7 +70,7 @@ class ReadRowRequest:
     key: Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRowResponse:
     """All cells one replica holds for the row."""
 
@@ -78,7 +78,7 @@ class ReadRowResponse:
     cells: Dict[ColumnName, Cell]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetThenPutRequest:
     """Atomically read ``read_columns`` then apply ``cells`` (paper §IV-C).
 
@@ -93,7 +93,7 @@ class GetThenPutRequest:
     read_columns: Tuple[ColumnName, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetThenPutResponse:
     """Pre-update cells plus the write acknowledgement."""
 
@@ -102,7 +102,7 @@ class GetThenPutResponse:
     applied: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexScanRequest:
     """Scan this node's local index fragment for ``value`` in ``column``.
 
@@ -115,7 +115,7 @@ class IndexScanRequest:
     columns: Tuple[ColumnName, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexScanResponse:
     """Matches from one node's index fragment: key -> column cells."""
 
@@ -124,7 +124,7 @@ class IndexScanResponse:
         default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepairReadRequest:
     """Anti-entropy: fetch this replica's full row for reconciliation."""
 
@@ -132,7 +132,7 @@ class RepairReadRequest:
     key: Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepairReadResponse:
     """Anti-entropy payload: every cell the replica holds for the row."""
 

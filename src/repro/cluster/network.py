@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, FrozenSet, Set
 
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Timeout
 from repro.sim.latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -82,25 +82,46 @@ class Network:
         The event fires with the handler's response.  It never fires when
         the request or response is dropped (down node, partition, loss);
         handler exceptions fail the event.
-        """
-        event = self.env.event()
-        self.env.process(self._rpc_process(src_id, dst, request, event))
-        return event
 
-    def _rpc_process(self, src_id: int, dst: "StorageNode", request: Any,
-                     event: Event):
+        Implemented as a timer-callback chain rather than a wrapper
+        process: RPCs are the most common unit of work in the simulation,
+        and skipping the per-message ``Process`` (generator + initialize
+        event + three resumptions) is a measurable share of the
+        ``message_rpc`` benchmark topic.
+        """
+        env = self.env
+        event = env.event()
         self.messages_sent += 1
-        yield self.env.timeout(self.one_way_delay(src_id, dst.node_id))
-        if dst.is_down or self.is_partitioned(src_id, dst.node_id) or self._lost():
-            self.messages_dropped += 1
-            return
-        try:
-            response = yield self.env.process(dst.dispatch(request))
-        except Exception as exc:  # surface handler errors to the caller
-            event.fail(exc)
-            return
-        yield self.env.timeout(self.one_way_delay(dst.node_id, src_id))
-        if self.is_partitioned(src_id, dst.node_id) or self._lost():
-            self.messages_dropped += 1
-            return
-        event.succeed(response)
+        dst_id = dst.node_id
+
+        def on_response(process: Event) -> None:
+            if not process._ok:  # surface handler errors to the caller
+                process._defused = True
+                event.fail(process._value)
+                return
+            response = process._value
+
+            def complete(_timer: Event) -> None:
+                if self.is_partitioned(src_id, dst_id) or self._lost():
+                    self.messages_dropped += 1
+                    return
+                event.succeed(response)
+
+            Timeout(env, self.one_way_delay(dst_id, src_id)
+                    ).callbacks.append(complete)
+
+        def deliver(_timer: Event) -> None:
+            if dst.is_down or self.is_partitioned(src_id, dst_id) \
+                    or self._lost():
+                self.messages_dropped += 1
+                return
+            try:
+                process = env.process(dst.dispatch(request))
+            except Exception as exc:  # bad request type, etc.
+                event.fail(exc)
+                return
+            process.add_callback(on_response)
+
+        Timeout(env, self.one_way_delay(src_id, dst_id)
+                ).callbacks.append(deliver)
+        return event

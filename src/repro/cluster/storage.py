@@ -84,10 +84,7 @@ class LocalStorageEngine:
         row = self._table(table).get(key)
         if row is None:
             return {column: None for column in columns}
-        return {
-            column: (row.get(column) if column in row else None)
-            for column in columns
-        }
+        return row.cells_for(columns)
 
     def read_row(self, table: str, key: Hashable) -> Dict[ColumnName, Cell]:
         """Every cell stored for the row (empty dict if the row is absent)."""

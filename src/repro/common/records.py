@@ -40,7 +40,7 @@ def _value_rank(value: Any) -> Tuple[str, str]:
     return (type(value).__name__, repr(value))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cell:
     """An immutable (value, timestamp) pair; ``tombstone`` marks deletion."""
 
@@ -59,8 +59,12 @@ class Cell:
 
     @staticmethod
     def null() -> "Cell":
-        """The cell returned when nothing was ever written."""
-        return Cell(None, NULL_TIMESTAMP)
+        """The cell returned when nothing was ever written.
+
+        Cells are immutable, so this is a shared singleton — never-written
+        columns are read far more often than they are written.
+        """
+        return _NULL_CELL
 
     @staticmethod
     def make(value: Any, timestamp: int) -> "Cell":
@@ -74,6 +78,9 @@ class Cell:
         if self.tombstone:
             return (None, self.timestamp)
         return (self.value, self.timestamp)
+
+
+_NULL_CELL = Cell(None, NULL_TIMESTAMP)
 
 
 def cell_wins(challenger: Cell, incumbent: Optional[Cell]) -> bool:
@@ -117,7 +124,17 @@ class Row:
 
     def get(self, column: ColumnName) -> Cell:
         """The cell for ``column`` (:meth:`Cell.null` if absent)."""
-        return self._cells.get(column, Cell.null())
+        return self._cells.get(column, _NULL_CELL)
+
+    def cells_for(self, columns: Iterable[ColumnName]
+                  ) -> Dict[ColumnName, Optional[Cell]]:
+        """The stored cells for ``columns`` (``None`` where never written).
+
+        The replica read path: one dict lookup per column, no NULL-cell
+        materialization for absent columns.
+        """
+        get = self._cells.get
+        return {column: get(column) for column in columns}
 
     def apply(self, column: ColumnName, cell: Cell) -> bool:
         """LWW-apply ``cell``; returns True if the row changed."""

@@ -30,7 +30,15 @@ Core concepts
     Condition events over several sub-events.
 
 Determinism: events scheduled for the same instant fire in scheduling order
-(FIFO), so a simulation with a fixed RNG seed is fully reproducible.
+(FIFO, via a monotone sequence counter in the heap entry), so a simulation
+with a fixed RNG seed is fully reproducible.
+
+Performance notes: this kernel is the hot path of every benchmark
+(``python -m repro.bench``, topic ``kernel_events``).  Event classes are
+``__slots__``-based, :class:`Timeout` initializes itself without chaining
+through ``Event.__init__``, and :meth:`Environment.run` drains the heap
+in an inlined loop (no per-event ``step()`` call, locals bound outside
+the loop).
 """
 
 from __future__ import annotations
@@ -76,6 +84,8 @@ class Event:
     callbacks; the kernel invokes them when the event is popped off the heap.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -115,11 +125,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._heap, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -130,11 +142,13 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._heap, (env._now, NORMAL, env._eid, self))
         return self
 
     # -- callbacks ---------------------------------------------------------
@@ -158,29 +172,42 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ (timeouts are the most-allocated event).
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heapq.heappush(env._heap, (env._now + delay, NORMAL, env._eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
+        # Inlined Event.__init__ (one Initialize per process start).
+        self.env = env
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        self.callbacks = [process._resume]
-        env._schedule(self, URGENT, 0.0)
+        self._defused = False
+        env._eid += 1
+        heapq.heappush(env._heap, (env._now, URGENT, env._eid, self))
 
 
 class Interruption(Event):
     """Internal event delivering an :class:`InterruptError` to a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any):
         super().__init__(process.env)
@@ -213,6 +240,8 @@ class Process(Event):
     fires.  The process is itself an event that triggers when the generator
     returns (success, with the return value) or raises (failure).
     """
+
+    __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -253,13 +282,17 @@ class Process(Event):
                 self._target = None
                 self._ok = True
                 self._value = stop.value
-                env._schedule(self, NORMAL, 0.0)
+                env._eid += 1
+                heapq.heappush(env._heap,
+                               (env._now, NORMAL, env._eid, self))
                 break
             except BaseException as exc:
                 self._target = None
                 self._ok = False
                 self._value = exc
-                env._schedule(self, NORMAL, 0.0)
+                env._eid += 1
+                heapq.heappush(env._heap,
+                               (env._now, NORMAL, env._eid, self))
                 break
 
             if not isinstance(result, Event):
@@ -269,9 +302,11 @@ class Process(Event):
                 event._ok = False
                 event._value = exc2
                 continue
-            if result.callbacks is not None:
-                # Event not yet processed: wait for it.
-                result.add_callback(self._resume)
+            callbacks = result.callbacks
+            if callbacks is not None:
+                # Event not yet processed: wait for it (append directly —
+                # add_callback's processed-check was done just above).
+                callbacks.append(self._resume)
                 self._target = result
                 break
             # Event already processed: loop and resume immediately with it.
@@ -282,6 +317,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -326,6 +363,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers when every sub-event has triggered (fails fast on failure)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count == len(self._events)
 
@@ -333,12 +372,16 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers when at least one sub-event has triggered."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= 1
 
 
 class Environment:
     """The simulation environment: virtual clock plus event heap."""
+
+    __slots__ = ("_now", "_heap", "_eid", "_active")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -430,11 +473,24 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_at} is in the past (now={self._now})")
         try:
-            while self._heap:
-                if stop_at is not None and self.peek() > stop_at:
+            # Hot loop: ``step()`` inlined with locals bound once.  Any
+            # change here must be mirrored in :meth:`step`.
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                if stop_at is not None and heap[0][0] > stop_at:
                     self._now = stop_at
                     break
-                self.step()
+                when, _prio, _eid, event = pop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise ProcessError(
+                        f"unhandled failure in {event!r}: {exc!r}") from exc
         except StopSimulation as stop:
             fired = stop.args[0]
             if not fired._ok:

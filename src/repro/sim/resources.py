@@ -83,8 +83,15 @@ class Resource:
         """Process helper: acquire a slot, hold it ``duration``, release.
 
         Usage: ``yield from resource.use(service_time)``.
+
+        Fast path: when a slot is free the grant is immediate (no grant
+        event, no heap round trip) — the uncontended case is the common
+        one, and this halves the kernel events per CPU charge.
         """
-        yield self.request()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+        else:
+            yield self.request()
         try:
             yield self.env.timeout(duration)
         finally:

@@ -154,6 +154,7 @@ def _collect_under_serialization(cluster, view: ViewDefinition,
     can prune them.  Loops until a sweep changes nothing.
     """
     report = GCReport(base_rows_examined=1)
+    previous = None
     while True:
         delta = yield from _sweep_base_row(cluster, view, base_key,
                                            view_keys, cutoff_base_ts,
@@ -168,6 +169,19 @@ def _collect_under_serialization(cluster, view: ViewDefinition,
         report.skipped_pinned = delta.skipped_pinned
         if changed == 0:
             return report
+        # Termination guard: a sweep's puts can lose under LWW to cells
+        # written at an equal-or-newer timestamp, in which case the
+        # counters above claim progress the store never made.  Stop once
+        # the observable chain state repeats instead of re-issuing the
+        # same doomed writes forever.
+        snapshot = tuple(sorted(
+            ((repr(vk), entry.next_cell.value, entry.next_cell.timestamp)
+             for vk, entry in entries_for_base_key(
+                 cluster, view, view_keys, base_key).items()),
+        ))
+        if snapshot == previous:
+            return report
+        previous = snapshot
 
 
 def _sweep_base_row(cluster, view: ViewDefinition, base_key: Hashable,
@@ -181,6 +195,18 @@ def _sweep_base_row(cluster, view: ViewDefinition, base_key: Hashable,
         # Mid-flight or broken state: leave it for the next pass.
         return report
     live_key = live_keys[0]
+    # Compaction timestamps derive from the *live* row's base timestamp,
+    # not the stale entry's own.  An entry's base_ts is frozen by its
+    # stale pointer, so deriving the compact timestamp from it makes
+    # compaction one-shot per entry: once the live key moves on, a
+    # re-compaction toward the new live row would carry the same
+    # timestamp as the previous one and lose under LWW forever (the
+    # sweep then never reaches a fixpoint).  The live row's base_ts is
+    # strictly monotone across live-key changes, so deriving from it
+    # keeps repeated compactions of the same entry supersedable, while
+    # PHASE_COMPACT < PHASE_PRUNE keeps the eventual prune tombstone
+    # winning over the freshened pointer.
+    compact_base_ts = entries[live_key].base_ts
 
     incoming: Dict = {}
     for view_key, entry in entries.items():
@@ -198,7 +224,8 @@ def _sweep_base_row(cluster, view: ViewDefinition, base_key: Hashable,
             if entry.next_key != live_key and entry.base_ts < cutoff_base_ts:
                 yield from coordinator.put(view.name, view_key, {
                     next_col: Cell(live_key,
-                                   view_timestamp(entry.base_ts,
+                                   view_timestamp(max(entry.base_ts,
+                                                      compact_base_ts),
                                                   PHASE_COMPACT)),
                 }, quorum)
                 report.rows_compacted += 1
@@ -212,7 +239,8 @@ def _sweep_base_row(cluster, view: ViewDefinition, base_key: Hashable,
             if entry.next_key != live_key:
                 yield from coordinator.put(view.name, view_key, {
                     next_col: Cell(live_key,
-                                   view_timestamp(entry.base_ts,
+                                   view_timestamp(max(entry.base_ts,
+                                                      compact_base_ts),
                                                   PHASE_COMPACT)),
                 }, quorum)
                 report.rows_compacted += 1

@@ -238,47 +238,70 @@ class ViewMaintainer:
         row_ts = view_timestamp(base_ts, PHASE_ROW)
         stale_ts = view_timestamp(base_ts, PHASE_STALE)
 
+        self.cluster.trace(
+            "propagate", "view-key update", view=view.name,
+            base_key=base_key, new_key=new_key, live_key=live_key,
+            ts=base_ts)
+
+        if new_key == live_key:
+            # Same-key refresh.  Coalesce line 4 and the Init unmark into
+            # one quorum put: the Init marker would be tombstoned
+            # immediately (stale_ts > row_ts wins under LWW), so writing
+            # the tombstone directly produces the same final cells while
+            # skipping a write round trip.  No reader-visible state is
+            # added — the Init-marked intermediate simply never exists.
+            yield from self._view_put(coordinator, view.name, new_key, {
+                base_col: Cell(base_key, row_ts),
+                next_col: Cell(new_key, row_ts),
+                init_col: Cell.make(None, stale_ts),
+            })
+            return new_key
+
+        update_is_newer = cell_wins(
+            Cell.make(new_key, base_ts),
+            Cell.make(live_key, live_ts) if live_ts != NULL_TIMESTAMP
+            else None)
+        if not update_is_newer:
+            # Line 10 coalesced: the new row enters the view already
+            # stale, pointing at the live row.  The uncoalesced sequence
+            # (live self-pointer marked Init, then stale pointer, then
+            # unmark) exposes two extra intermediate states that no
+            # correctness argument needs; writing the final cells in one
+            # put is strictly safer and two round trips cheaper.  The
+            # self-pointer at row_ts is never written — the stale pointer
+            # at stale_ts would immediately supersede it anyway.
+            yield from self._view_put(coordinator, view.name, new_key, {
+                base_col: Cell(base_key, row_ts),
+                next_col: Cell(live_key, stale_ts),
+                init_col: Cell.make(None, stale_ts),
+            })
+            return live_key
+
         # Line 4: write the new row (live self-pointer), marked Init so
-        # concurrent readers do not observe it until initialized.
+        # concurrent readers do not observe it until initialized.  This
+        # branch MUST stay sequential: unmarking Init before the old live
+        # row is staled could let a reader observe two accessible live
+        # rows for one base key (the Section IV-F invariant).
         yield from self._view_put(coordinator, view.name, new_key, {
             base_col: Cell(base_key, row_ts),
             next_col: Cell(new_key, row_ts),
             init_col: Cell(True, row_ts),
         })
-
-        self.cluster.trace(
-            "propagate", "view-key update", view=view.name,
-            base_key=base_key, new_key=new_key, live_key=live_key,
-            ts=base_ts)
-        result = new_key
-        if new_key != live_key:
-            update_is_newer = cell_wins(
-                Cell.make(new_key, base_ts),
-                Cell.make(live_key, live_ts) if live_ts != NULL_TIMESTAMP
-                else None)
-            if update_is_newer:
-                # Line 7: copy view-materialized cells to the new row.
-                # This runs even when the old live row is the (possibly
-                # virtual) NULL anchor: materialized updates that
-                # propagated before any view-key update park their cells
-                # there, and the copy carries them into the view.
-                yield from self._copy_data(coordinator, view, base_key,
-                                           live_key, new_key)
-                # Line 8: make the old live row stale.  For a pristine
-                # chain this creates the NULL anchor row, giving later
-                # NULL guesses a path to the live row.
-                yield from self._view_put(coordinator, view.name, live_key, {
-                    next_col: Cell(new_key, stale_ts),
-                })
-            else:
-                # Line 10: the new row is stale, pointing at the live row.
-                yield from self._view_put(coordinator, view.name, new_key, {
-                    next_col: Cell(live_key, stale_ts),
-                })
-                result = live_key
-
-        # Unmark Init: the row (live or stale) is now fully initialized.
-        yield from self._view_put(coordinator, view.name, new_key, {
-            init_col: Cell.make(None, view_timestamp(base_ts, PHASE_STALE)),
+        # Line 7: copy view-materialized cells to the new row.  This runs
+        # even when the old live row is the (possibly virtual) NULL
+        # anchor: materialized updates that propagated before any
+        # view-key update park their cells there, and the copy carries
+        # them into the view.
+        yield from self._copy_data(coordinator, view, base_key,
+                                   live_key, new_key)
+        # Line 8: make the old live row stale.  For a pristine chain this
+        # creates the NULL anchor row, giving later NULL guesses a path
+        # to the live row.
+        yield from self._view_put(coordinator, view.name, live_key, {
+            next_col: Cell(new_key, stale_ts),
         })
-        return result
+        # Unmark Init: the new live row is now fully initialized.
+        yield from self._view_put(coordinator, view.name, new_key, {
+            init_col: Cell.make(None, stale_ts),
+        })
+        return new_key

@@ -118,7 +118,14 @@ class FixedKey(KeyChooser):
         return 1
 
 
+_VALUE_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
 def value_string(rng: random.Random, length: int = 16) -> str:
-    """A random payload string of the given length."""
-    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
-    return "".join(rng.choice(alphabet) for _ in range(length))
+    """A random payload string of the given length.
+
+    Uses one bulk ``choices`` draw instead of per-character ``choice``
+    calls; payload generation is on the critical path of every simulated
+    write.
+    """
+    return "".join(rng.choices(_VALUE_ALPHABET, k=length))

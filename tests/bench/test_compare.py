@@ -1,0 +1,103 @@
+"""The compare gate: regression detection and CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import compare_documents
+from repro.bench.__main__ import main
+from repro.bench.compare import TopicDelta, load_documents
+
+
+def _doc(topic: str, ops_per_sec: float) -> dict:
+    return {
+        "schema_version": 1,
+        "topic": topic,
+        "kind": "micro",
+        "params": {"seed": 0, "quick": True},
+        "simulated_ops": 1000,
+        "simulated_duration_ms": None,
+        "propagation_latency": None,
+        "metrics": {},
+        "wall_seconds": 1000.0 / ops_per_sec,
+        "simulated_ops_per_wall_second": ops_per_sec,
+        "git_sha": "test",
+    }
+
+
+def _write_run(directory, **topic_rates):
+    directory.mkdir(parents=True, exist_ok=True)
+    for topic, rate in topic_rates.items():
+        path = directory / f"BENCH_{topic}.json"
+        path.write_text(json.dumps(_doc(topic, rate), sort_keys=True))
+
+
+def test_ratio_and_regression_threshold():
+    delta = TopicDelta("t", 1000.0, 790.0)
+    assert delta.ratio == pytest.approx(0.79)
+    assert delta.regressed(0.20)
+    assert not delta.regressed(0.25)
+    assert not TopicDelta("t", 1000.0, 801.0).regressed(0.20)
+
+
+def test_compare_documents_flags_only_breaching_topics():
+    before = {"a": _doc("a", 1000.0), "b": _doc("b", 1000.0)}
+    after = {"a": _doc("a", 750.0), "b": _doc("b", 990.0)}
+    result = compare_documents(before, after, threshold=0.20)
+    assert not result.ok
+    assert [d.topic for d in result.regressions] == ["a"]
+    assert "REGRESSION" in result.format_table()
+
+
+def test_topics_on_one_side_are_not_failures():
+    before = {"gone": _doc("gone", 1000.0)}
+    after = {"new": _doc("new", 1000.0)}
+    result = compare_documents(before, after)
+    assert result.ok
+    assert result.only_before == ["gone"]
+    assert result.only_after == ["new"]
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        compare_documents({}, {}, threshold=0.0)
+    with pytest.raises(ValueError):
+        compare_documents({}, {}, threshold=1.0)
+
+
+def test_load_documents_from_directory_and_file(tmp_path):
+    _write_run(tmp_path / "run", a=100.0, b=200.0)
+    docs = load_documents(tmp_path / "run")
+    assert set(docs) == {"a", "b"}
+    single = load_documents(tmp_path / "run" / "BENCH_a.json")
+    assert set(single) == {"a"}
+    with pytest.raises(FileNotFoundError):
+        load_documents(tmp_path / "empty_does_not_exist")
+
+
+def test_cli_compare_exits_nonzero_on_injected_regression(tmp_path, capsys):
+    """The hard gate: a 20%+ drop must fail the process."""
+    _write_run(tmp_path / "before", fig4_read=1000.0)
+    _write_run(tmp_path / "after", fig4_read=799.0)  # -20.1%
+    code = main(["compare", str(tmp_path / "before"),
+                 str(tmp_path / "after")])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_compare_exits_zero_within_threshold(tmp_path, capsys):
+    _write_run(tmp_path / "before", fig4_read=1000.0)
+    _write_run(tmp_path / "after", fig4_read=850.0)  # -15%
+    code = main(["compare", str(tmp_path / "before"),
+                 str(tmp_path / "after")])
+    assert code == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_compare_respects_threshold_flag(tmp_path, capsys):
+    _write_run(tmp_path / "before", fig4_read=1000.0)
+    _write_run(tmp_path / "after", fig4_read=850.0)
+    code = main(["compare", str(tmp_path / "before"),
+                 str(tmp_path / "after"), "--threshold", "0.10"])
+    assert code == 1
+    capsys.readouterr()

@@ -281,3 +281,35 @@ def test_collector_validation():
         StaleRowCollector(cluster, ["V"], interval=0, horizon_ms=1.0)
     with pytest.raises(ValueError):
         StaleRowCollector(cluster, ["V"], interval=1.0, horizon_ms=-1.0)
+
+
+def test_gc_recompacts_after_live_key_moves_again():
+    """Regression: compaction must stay repeatable per entry.
+
+    The anchor (or any pinned row) gets compacted toward the live row
+    once; when a later update moves the live key, the next collection
+    pass must be able to re-compact it toward the *new* live row.  The
+    compact timestamp used to derive from the stale entry's own (frozen)
+    base timestamp, so the second compaction could never win LWW and the
+    sweep's fixpoint loop re-issued the same doomed put forever.
+    """
+    cluster, client = build()
+    client.put("T", "k", {"vk": "a"}, timestamp=1_000_000)
+    client.settle()
+    client.put("T", "k", {"vk": "b"}, timestamp=2_000_000)
+    client.settle()
+    run_gc(cluster)  # anchor compacted toward "b" (one-shot before fix)
+    client.put("T", "k", {"vk": "b"}, timestamp=3_000_000)  # refresh
+    client.settle()
+    client.put("T", "k", {"vk": "a"}, timestamp=4_000_000)
+    client.settle()
+    report = run_gc(cluster)  # used to loop forever re-compacting
+    assert check_view(cluster, VIEW) == []
+    assert report.rows_compacted >= 1
+    rows = [r for r in client.get_view("V", "a", ["m"], r=2)
+            if r.base_key == "k"]
+    assert len(rows) == 1
+    # A follow-up pass finds a stable chain: nothing left to do.
+    followup = run_gc(cluster)
+    assert followup.rows_compacted == 0
+    assert followup.rows_pruned == 0
