@@ -3,8 +3,11 @@
 ``compare_documents`` matches topics by name and compares the headline
 ``simulated_ops_per_wall_second``.  A topic regresses when its after/
 before ratio drops below ``1 - threshold`` (default threshold 0.20, the
-CI gate).  Topics present on only one side are reported but are not
-failures — the suite is allowed to grow.
+CI gate).  New topics (present only in the after run) are reported but
+are not failures — the suite is allowed to grow.  Topics *missing* from
+the after run fail the gate: a deleted benchmark would otherwise drop
+its coverage silently, which is exactly the regression the gate exists
+to catch.
 """
 
 from __future__ import annotations
@@ -63,8 +66,9 @@ class CompareResult:
 
     @property
     def ok(self) -> bool:
-        """True when no topic regressed beyond the threshold."""
-        return not self.regressions
+        """True when no topic regressed beyond the threshold and no
+        baseline topic disappeared from the after run."""
+        return not self.regressions and not self.only_before
 
     def format_table(self) -> str:
         """A human-readable summary of every delta."""
@@ -79,13 +83,17 @@ class CompareResult:
                 f"{delta.after_ops_per_wall_second:>14.1f} "
                 f"{delta.ratio:>6.2f}x  {verdict}")
         for topic in self.only_before:
-            lines.append(f"{topic:<20} (removed: present only in before run)")
+            lines.append(f"{topic:<20} MISSING (present only in before run)")
         for topic in self.only_after:
             lines.append(f"{topic:<20} (new: present only in after run)")
+        problems = []
+        if self.regressions:
+            problems.append(f"{len(self.regressions)} regression(s)")
+        if self.only_before:
+            problems.append(f"{len(self.only_before)} missing topic(s)")
         lines.append(
             f"threshold: fail below {1.0 - self.threshold:.2f}x; "
-            + ("OK" if self.ok
-               else f"{len(self.regressions)} regression(s)"))
+            + ("OK" if self.ok else ", ".join(problems)))
         return "\n".join(lines)
 
 

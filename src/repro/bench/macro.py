@@ -10,7 +10,9 @@ sizes:
   asynchronous view maintenance (Figure 6), including how long the
   propagation backlog takes to drain;
 - ``ext_repair_scrub`` — scrub throughput of the background view
-  scrubber healing crash-induced base/view divergence (extension E2).
+  scrubber healing crash-induced base/view divergence (extension E2);
+- ``ext_outburst`` — the outbox pipeline absorbing a 10x write burst
+  (extension E3): bounded queue depth, coalescing, full drain.
 
 ``simulated_ops`` counts completed client operations (or, for the
 scrubber, rows scanned) — dividing by wall seconds gives the headline
@@ -228,8 +230,51 @@ def ext_repair_scrub(params: BenchParams) -> TopicResult:
     )
 
 
+def ext_outburst(params: BenchParams) -> TopicResult:
+    """Outbox load leveling: steady load, 10x write burst, drain.
+
+    Runs the extension E3 workload (``repro.experiments.ext_outburst``)
+    at benchmark sizes.  ``simulated_ops`` counts client Puts completed;
+    ``propagation_latency`` reports how long the backlog took to drain
+    after the burst stopped.  The residual-divergence metric must be 0:
+    the backlog is propagation lag, never loss.
+    """
+    from repro.experiments.calibration import experiment_config
+    from repro.experiments.ext_outburst import _PROPAGATION_DELAY, run_burst
+    from repro.sim.latency import Fixed
+
+    keys = params.scaled(32, 96)
+    steady_ops = params.scaled(20, 60)
+    burst_ops = params.scaled(100, 240)
+    capacity = 32
+    config = experiment_config(
+        params.seed,
+        propagation_delay=Fixed(_PROPAGATION_DELAY),
+        max_pending_propagations=capacity)
+    outcome = run_burst(config, keys=keys, steady_ops=steady_ops,
+                        burst_ops=burst_ops, steady_gap=6.0,
+                        burst_factor=10.0, sample_every=5.0)
+    stats = outcome["stats"]
+    return TopicResult(
+        simulated_ops=outcome["ops"],
+        params={"keys": keys, "steady_ops": steady_ops,
+                "burst_ops": burst_ops, "capacity": capacity},
+        simulated_duration_ms=outcome["simulated_ms"],
+        propagation_latency={"drain_ms": round(outcome["drain_ms"], 6)},
+        metrics={
+            "peak_depth_steady": outcome["peak"]["steady"],
+            "peak_depth_burst": outcome["peak"]["burst"],
+            "coalesced": stats["coalesced"],
+            "coalesce_ratio": round(stats["coalesce_ratio"], 6),
+            "completed_propagations": outcome["completed"],
+            "residual_divergent_rows": outcome["divergent_rows"],
+        },
+    )
+
+
 TOPICS = {
     "fig4_read": fig4_read,
     "fig6_write": fig6_write,
     "ext_repair_scrub": ext_repair_scrub,
+    "ext_outburst": ext_outburst,
 }

@@ -115,9 +115,24 @@ class ClusterConfig:
     propagation_concurrency: str = "locks"
     # One round trip to the lock service per acquire/release (ms).
     lock_service_latency: float = 0.05
-    # Backoff between rounds of view-key-guess retries in Algorithm 1, and
-    # the cap on retry rounds before the propagation is abandoned loudly.
+    # How Puts hand work to view maintenance: "outbox" appends each
+    # committed Put to a per-node update log drained by background
+    # consumer processes (batching, per-(view, key) coalescing,
+    # queue-based load leveling); "inline" spawns one driver process per
+    # Put (the pre-outbox behavior, kept for comparison runs).
+    propagation_pipeline: str = "outbox"
+    # Outbox consumer tuning: parallel consumer processes per node and
+    # the maximum records one consumer claims per wakeup.
+    outbox_consumers: int = 2
+    outbox_batch_size: int = 8
+    # Backoff between rounds of view-key-guess retries in Algorithm 1:
+    # exponential starting at ``propagation_retry_backoff``, doubling per
+    # round up to ``propagation_retry_backoff_cap``, with deterministic
+    # jitter so contending propagations do not retry in lockstep.
+    # ``propagation_max_rounds`` caps the rounds before the propagation
+    # is abandoned loudly.
     propagation_retry_backoff: float = 0.5
+    propagation_retry_backoff_cap: float = 8.0
     propagation_max_rounds: int = 200
 
     # Background view scrubber defaults (consumed by repro.repair).
@@ -157,8 +172,20 @@ class ClusterConfig:
                 f"or 'none', got {self.propagation_concurrency!r}")
         if self.lock_service_latency < 0:
             raise ValueError("lock_service_latency must be non-negative")
+        if self.propagation_pipeline not in ("outbox", "inline"):
+            raise ValueError(
+                "propagation_pipeline must be 'outbox' or 'inline', "
+                f"got {self.propagation_pipeline!r}")
+        if self.outbox_consumers < 1:
+            raise ValueError("outbox_consumers must be >= 1")
+        if self.outbox_batch_size < 1:
+            raise ValueError("outbox_batch_size must be >= 1")
         if self.propagation_retry_backoff < 0:
             raise ValueError("propagation_retry_backoff must be non-negative")
+        if self.propagation_retry_backoff_cap < self.propagation_retry_backoff:
+            raise ValueError(
+                "propagation_retry_backoff_cap must be >= "
+                "propagation_retry_backoff")
         if self.propagation_max_rounds < 1:
             raise ValueError("propagation_max_rounds must be >= 1")
         if self.scrub_interval <= 0:

@@ -79,7 +79,7 @@ class ResponseCollector:
         if not event._ok:
             # A handler raised: propagate to every waiter (programming
             # errors must not be silently converted into timeouts).
-            event._defused = True
+            event.defuse()
             self._fail_all(event._value)
             return
         if self._timed_out:
@@ -119,10 +119,10 @@ class ResponseCollector:
             waiter.fail(exc)
         self._waiters = []
         if not self.settled.triggered:
-            self.settled.fail(exc)
             # ``settled`` is optional to consume; a failure with no waiter
             # must not crash the simulation (waiters still see the raise).
-            self.settled._defused = True
+            self.settled.defuse()
+            self.settled.fail(exc)
 
 
 class Coordinator:

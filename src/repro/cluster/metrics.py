@@ -39,12 +39,18 @@ class ClusterSnapshot:
     scrub_rows_scanned: int = 0
     scrub_divergences_found: int = 0
     scrub_repairs_applied: int = 0
+    # Outbox pipeline: records appended/coalesced so far and the current
+    # total queue depth across node outboxes (0 under the inline path).
+    outbox_appended: int = 0
+    outbox_coalesced: int = 0
+    outbox_depth: int = 0
 
     @staticmethod
     def capture(cluster) -> "ClusterSnapshot":
         """Snapshot ``cluster``'s counters now."""
         manager = cluster.view_manager
         scrubbers = getattr(cluster, "scrubbers", ())
+        outbox = manager.outbox_stats() if manager else {}
         return ClusterSnapshot(
             at=cluster.env.now,
             nodes=[NodeSnapshot(node.node_id, node.busy_time,
@@ -63,6 +69,9 @@ class ClusterSnapshot:
                                         for s in scrubbers),
             scrub_repairs_applied=sum(s.metrics.repairs_applied
                                       for s in scrubbers),
+            outbox_appended=outbox.get("appended", 0),
+            outbox_coalesced=outbox.get("coalesced", 0),
+            outbox_depth=outbox.get("depth", 0),
         )
 
 

@@ -96,7 +96,7 @@ class Network:
 
         def on_response(process: Event) -> None:
             if not process._ok:  # surface handler errors to the caller
-                process._defused = True
+                process.defuse()
                 event.fail(process._value)
                 return
             response = process._value

@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablations,
     crossover,
+    ext_outburst,
     ext_repair,
     fig3_read_latency,
     fig4_read_throughput,
@@ -32,4 +33,5 @@ __all__ = [
     "ablations",
     "crossover",
     "ext_repair",
+    "ext_outburst",
 ]

@@ -20,6 +20,7 @@ from repro.experiments import (
     ExperimentParams,
     ablations,
     crossover,
+    ext_outburst,
     ext_repair,
     fig3_read_latency,
     fig4_read_throughput,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "abl6": lambda p: ablations.master_vs_decentralized(p),
     "ext1": lambda p: crossover.run(p),
     "ext_repair": lambda p: ext_repair.run(p),
+    "ext_outburst": lambda p: ext_outburst.run(p),
 }
 
 

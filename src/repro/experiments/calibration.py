@@ -69,6 +69,19 @@ class ExperimentParams:
     repair_duration: float = 800.0
     repair_sample_every: float = 40.0
 
+    # Extension E3 (ext_outburst): queue-based load leveling.  Steady
+    # update phase (one Put per ``outburst_steady_gap`` ms), then a
+    # burst ``outburst_burst_factor`` times faster on a hot key subset,
+    # then drain; the per-node outbox is bounded at
+    # ``outburst_capacity`` records.
+    outburst_keys: int = 96
+    outburst_steady_ops: int = 60
+    outburst_burst_ops: int = 240
+    outburst_steady_gap: float = 6.0
+    outburst_burst_factor: float = 10.0
+    outburst_sample_every: float = 5.0
+    outburst_capacity: int = 32
+
     def quick(self) -> "ExperimentParams":
         """A much smaller variant for tests of the experiment harness."""
         return ExperimentParams(
@@ -87,6 +100,10 @@ class ExperimentParams:
             repair_crashes=3,
             repair_duration=400.0,
             repair_sample_every=40.0,
+            outburst_keys=32,
+            outburst_steady_ops=20,
+            outburst_burst_ops=100,
+            outburst_sample_every=5.0,
             seed=self.seed,
         )
 

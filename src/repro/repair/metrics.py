@@ -24,6 +24,7 @@ class ScrubMetrics:
     clean_rounds: int = 0
     backoff_rounds: int = 0
     skipped_rounds: int = 0  # paused, or no alive coordinator
+    deferred_backlog: int = 0  # view skipped: outbox records still pending
     ranges_compared: int = 0
     ranges_skipped_clean: int = 0
     rows_scanned: int = 0

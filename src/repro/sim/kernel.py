@@ -151,6 +151,20 @@ class Event:
         heapq.heappush(env._heap, (env._now, NORMAL, env._eid, self))
         return self
 
+    def defuse(self) -> "Event":
+        """Mark a failure of this event as handled.
+
+        The kernel escalates any *failed* event whose failure no waiter
+        consumed (errors must never pass silently).  ``defuse()`` opts an
+        event out of that escalation: call it when a failure is an
+        expected outcome that dedicated bookkeeping already records —
+        e.g. a propagation completion that nobody is obligated to
+        consume.  Safe to call in any phase (before or after
+        triggering); returns ``self`` for chaining.
+        """
+        self._defused = True
+        return self
+
     # -- callbacks ---------------------------------------------------------
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:

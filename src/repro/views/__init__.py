@@ -24,6 +24,7 @@ from repro.views.invariants import (
 from repro.views.locks import LockService, ReadWriteLock
 from repro.views.maintenance import PropagationMetrics, ViewKeyGuess, ViewMaintainer
 from repro.views.manager import BackfillReport, ViewManager
+from repro.views.outbox import NodeOutbox, OutboxRecord
 from repro.views.model import (
     BaseUpdate,
     LogicalBaseTable,
@@ -57,6 +58,8 @@ __all__ = [
     "view_get",
     "LockService",
     "ReadWriteLock",
+    "NodeOutbox",
+    "OutboxRecord",
     "PropagatorPool",
     "Session",
     "SessionManager",

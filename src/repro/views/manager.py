@@ -8,19 +8,37 @@ coordinator needs when a base-table Put touches view-relevant columns
    versions, not just the latest) — combined with the Put into one
    replica round trip when ``combined_get_then_put`` is enabled;
 2. perform the base Put and acknowledge the client at W replicas;
-3. keep collecting view-key versions from the remaining replicas, then
-   asynchronously drive ``PropagateUpdate`` (Algorithm 2), retrying over
-   the collected guesses until one succeeds.
+3. hand the update to the asynchronous propagation pipeline, which
+   drives ``PropagateUpdate`` (Algorithm 2), retrying over the collected
+   guesses until one succeeds.
+
+Step 3 has two implementations (``config.propagation_pipeline``):
+
+``"outbox"`` (default)
+    The Put appends a record to its coordinator node's
+    :class:`~repro.views.outbox.NodeOutbox`; per-node background
+    consumer processes drain the log in batches, coalescing superseded
+    same-``(view, key)`` updates on the way (see :mod:`repro.views.
+    outbox` for the log format and coalescing rule).  Session barriers
+    use outbox offsets rather than per-Put events.
+
+``"inline"``
+    The pre-outbox behavior: one driver process spawned per Put per
+    affected view, kept for comparison runs.
 
 Concurrency control per Section IV-F is pluggable: a per-base-row lock
 service (shared for materialized-column propagation, exclusive for
 view-key propagation) or dedicated per-row propagators.  Locks are
 released between retry rounds — holding them across a failed round would
 block the very propagation that must run before the retry can succeed.
+Retries back off exponentially (capped) with deterministic jitter so
+contending propagations de-synchronize instead of colliding every round.
 
 Coordinators bound their outstanding propagations
 (``max_pending_propagations``); base Puts block when the backlog is full,
-modelling the prototype's finite maintenance capacity.
+modelling the prototype's finite maintenance capacity.  In outbox mode
+the same bound covers queued plus in-flight records, and coalescing
+returns the superseded record's slot immediately.
 """
 
 from __future__ import annotations
@@ -43,6 +61,7 @@ from repro.views import read as view_read
 from repro.views.definition import ViewDefinition
 from repro.views.locks import LockService
 from repro.views.maintenance import ViewKeyGuess, ViewMaintainer
+from repro.views.outbox import NodeOutbox
 from repro.views.propagators import PropagatorPool
 from repro.views.session import SessionManager
 
@@ -83,15 +102,37 @@ class ViewManager:
         self._joins: Dict[str, "JoinViewDefinition"] = {}
         self._by_table: Dict[str, List[ViewDefinition]] = {}
         self._backpressure: Dict[int, Semaphore] = {}
+        self._outboxes: Dict[int, NodeOutbox] = {}
         # Observability.
-        self.pending_propagations = 0
+        self._inline_pending = 0
         self.completed_propagations = 0
         self.lost_propagations = 0
         self.abandoned_propagations = 0
         # Fault-injection hooks (ChaosMonkey.crash_during_propagation):
-        # consulted by the propagation driver; a hook returning True
-        # crashes the coordinator before the propagation runs.
+        # consulted once per consumed record (or per inline driver),
+        # after the scheduling delay but before Algorithm 2 runs; a hook
+        # returning True crashes the coordinator, losing the propagation.
         self._crash_hooks: List[Callable] = []
+        if self.config.propagation_pipeline == "outbox":
+            # One log per node, drained by its own consumer pool.  Idle
+            # consumers block on unscheduled events, so they never keep
+            # run_until_idle() alive.
+            for node in cluster.nodes:
+                outbox = NodeOutbox(
+                    self.env, node.node_id,
+                    capacity=self.config.max_pending_propagations)
+                self._outboxes[node.node_id] = outbox
+                for index in range(self.config.outbox_consumers):
+                    self.env.process(
+                        self._consume_outbox(outbox),
+                        name=f"outbox-consumer:{node.node_id}:{index}")
+
+    @property
+    def pending_propagations(self) -> int:
+        """Propagations accepted but not yet resolved (queued or
+        in-flight), across both pipelines."""
+        return self._inline_pending + sum(
+            outbox.depth for outbox in self._outboxes.values())
 
     # -- registry -----------------------------------------------------------
 
@@ -219,6 +260,28 @@ class ViewManager:
         self.cluster.trace("base_put", "acked; scheduling propagation",
                            table=table, key=key, ts=base_ts,
                            views=[view.name for view in affected])
+        if self._outboxes:
+            outbox = self._outboxes[coordinator.node.node_id]
+            for view in affected:
+                # Back-pressure: block the Put while the node's outbox
+                # (queued + in-flight records) is full.
+                yield outbox.backpressure.acquire()
+                # The completion event resolves when the record's
+                # propagation does; session barriers use the outbox
+                # offset instead, so nobody is obligated to consume it.
+                completion = self.env.event().defuse()
+                before = outbox.coalesced
+                record = outbox.append(
+                    view, table, key, self._update_values(view, cells),
+                    base_ts, (collector, extract), completion)
+                if outbox.coalesced != before:
+                    self.cluster.trace(
+                        "outbox", "coalesced superseded update",
+                        view=view.name, key=key, seq=record.seq)
+                if session is not None:
+                    self.sessions.register_offset(session, view.name,
+                                                  outbox, record.seq)
+            return
         backpressure = self._backpressure_for(coordinator.node.node_id)
         for view in affected:
             # Back-pressure: block the Put while the coordinator's
@@ -229,7 +292,7 @@ class ViewManager:
                 self.sessions.register(session, view.name, completion)
             else:
                 # Nobody is obligated to consume the completion event.
-                completion._defused = True
+                completion.defuse()
             self.env.process(
                 self._propagation_driver(coordinator, view, table, key,
                                          cells, base_ts, collector, extract,
@@ -249,13 +312,16 @@ class ViewManager:
     def add_crash_hook(self, hook: Callable) -> None:
         """Arm ``hook(coordinator, view, base_key, base_ts) -> bool``.
 
-        Consulted once per asynchronous propagation, after the view-key
-        collection settles and the scheduling delay elapses but before
-        Algorithm 2 runs — the window in which a real coordinator crash
-        silently loses the propagation.  A hook returning True raises
-        :class:`~repro.errors.CoordinatorCrashError` inside the driver,
-        which counts the propagation as lost (``lost_propagations``)
-        instead of escalating.
+        Consulted once per asynchronous propagation — by the outbox
+        consumer after it has claimed the record (or by the inline
+        driver), once the view-key collection settles and the scheduling
+        delay elapses but before Algorithm 2 runs.  That is the window
+        in which a real coordinator crash silently loses the
+        propagation: the record is already out of the log, the view not
+        yet written.  A hook returning True raises
+        :class:`~repro.errors.CoordinatorCrashError` there, which counts
+        the propagation as lost (``lost_propagations``) instead of
+        escalating.
         """
         self._crash_hooks.append(hook)
 
@@ -275,13 +341,127 @@ class ViewManager:
                     f"propagating base key {key!r} (ts {base_ts}) to view "
                     f"{view.name!r}")
 
-    # -- asynchronous propagation driver -----------------------------------------
+    # -- outbox pipeline ----------------------------------------------------
+
+    @staticmethod
+    def _update_values(view: ViewDefinition,
+                       cells: Dict[ColumnName, Cell]) -> Dict[ColumnName, Any]:
+        """A Put's watched columns as raw values (None for tombstones)."""
+        return {
+            column: (None if cell.tombstone else cell.value)
+            for column, cell in cells.items()
+            if column in view.watched_columns
+        }
+
+    def _consume_outbox(self, outbox: NodeOutbox):
+        """One background consumer: drain the node's log in batches."""
+        while True:
+            batch = yield from outbox.next_batch(self.config.outbox_batch_size)
+            for record in batch:
+                yield from self._process_record(outbox, record)
+
+    def _process_record(self, outbox: NodeOutbox, record):
+        """Propagate one claimed outbox record (Algorithm 1 lines 4-7)."""
+        view, key, base_ts = record.view, record.key, record.base_ts
+        try:
+            # Gather guesses from every source round trip (Alg. 1:
+            # propagation starts only after the Get has heard from all
+            # copies of the base row, or timed out).  A coalesced record
+            # carries its riders' sources too, widening the guess set.
+            gathered = []
+            for collector, extract in record.sources:
+                responses = yield collector.settled
+                gathered.append((responses, extract))
+            # Scheduling delay: maintenance work queues behind other
+            # maintenance work.
+            yield self.env.timeout(
+                self.config.propagation_delay.sample(self._rng))
+            coordinator = self.cluster.coordinator(outbox.node_id)
+            self._maybe_crash(coordinator, view, key, base_ts)
+
+            seen: Dict[Any, ViewKeyGuess] = {}
+            for responses, extract in gathered:
+                for response in responses:
+                    cell = extract(response, view.view_key_column)
+                    self._merge_guess(seen, ViewKeyGuess.from_cell(view, cell))
+            guesses = sorted(seen.values(),
+                             key=lambda g: g.timestamp, reverse=True)
+            yield from self._propagate_with_retries(
+                coordinator, view, record.table, key, guesses,
+                record.update_values, base_ts)
+            self.completed_propagations += 1
+            self.cluster.trace("propagation", "completed", view=view.name,
+                               key=key, ts=base_ts)
+            record.resolve()
+        except CoordinatorCrashError as exc:
+            # The record was claimed before processing (at-most-once):
+            # the crash models a coordinator dying with the propagation
+            # only in its volatile state, so the work is simply lost (no
+            # retry, no escalation) — exactly the divergence the repair
+            # subsystem (repro.repair) exists to detect and heal.
+            self.lost_propagations += 1
+            self.cluster.trace("propagation", "lost to coordinator crash",
+                               view=view.name, key=key, ts=base_ts)
+            record.resolve(exc)
+        except PropagationError as exc:
+            # Retries exhausted: the chain entry point this propagation
+            # needs never appeared — e.g. its predecessor's propagation
+            # was itself lost to a crash, so no guess is ever valid.
+            # Give up quietly; the row is now diverged and the scrubber
+            # re-drives it from the NULL anchor.
+            self.abandoned_propagations += 1
+            self.cluster.trace("propagation", "abandoned after retries",
+                               view=view.name, key=key, ts=base_ts)
+            record.resolve(exc)
+        except Exception as exc:
+            record.resolve(exc)
+            raise
+        finally:
+            outbox.done(record)
+            outbox.backpressure.release()
+
+    def outbox_pending(self, view_name: Optional[str] = None) -> int:
+        """Unresolved outbox records, optionally for one view only.
+
+        The scrubber consults this to defer digest comparison while
+        propagation is merely behind (backlog, not divergence)."""
+        if view_name is None:
+            return sum(outbox.depth for outbox in self._outboxes.values())
+        return sum(outbox.pending_for(view_name)
+                   for outbox in self._outboxes.values())
+
+    def outbox_stats(self) -> Dict[str, Any]:
+        """Queue depth / lag / coalescing counters across node outboxes."""
+        appended = sum(o.appended for o in self._outboxes.values())
+        coalesced = sum(o.coalesced for o in self._outboxes.values())
+        return {
+            "appended": appended,
+            "coalesced": coalesced,
+            "coalesce_ratio": (coalesced / appended) if appended else 0.0,
+            "depth": sum(o.depth for o in self._outboxes.values()),
+            "max_depth": max(
+                (o.max_depth for o in self._outboxes.values()), default=0),
+            "lag": sum(o.lag for o in self._outboxes.values()),
+            "per_node": {
+                node_id: {
+                    "appended": o.appended,
+                    "coalesced": o.coalesced,
+                    "depth": o.depth,
+                    "max_depth": o.max_depth,
+                    "low_watermark": o.low_watermark,
+                    "lag": o.lag,
+                }
+                for node_id, o in sorted(self._outboxes.items())
+            },
+        }
+
+    # -- inline propagation driver (propagation_pipeline="inline") ---------------
 
     def _propagation_driver(self, coordinator, view: ViewDefinition,
                             table: str, key: Hashable,
                             cells: Dict[ColumnName, Cell], base_ts: int,
                             collector, extract, completion, backpressure):
-        self.pending_propagations += 1
+        self._inline_pending += 1
         try:
             # Keep collecting view keys from the remaining replicas
             # (Alg. 1: propagation starts only after the Get has heard
@@ -293,11 +473,7 @@ class ViewManager:
                 self.config.propagation_delay.sample(self._rng))
             self._maybe_crash(coordinator, view, key, base_ts)
 
-            update_values = {
-                column: (None if cell.tombstone else cell.value)
-                for column, cell in cells.items()
-                if column in view.watched_columns
-            }
+            update_values = self._update_values(view, cells)
             guesses = self._guesses(view, responses, extract)
             yield from self._propagate_with_retries(
                 coordinator, view, table, key, guesses, update_values,
@@ -315,8 +491,8 @@ class ViewManager:
             self.cluster.trace("propagation", "lost to coordinator crash",
                                view=view.name, key=key, ts=base_ts)
             if not completion.triggered:
+                completion.defuse()
                 completion.fail(exc)
-                completion._defused = True
         except PropagationError as exc:
             # Retries exhausted: the chain entry point this propagation
             # needs never appeared — e.g. its predecessor's propagation
@@ -327,16 +503,16 @@ class ViewManager:
             self.cluster.trace("propagation", "abandoned after retries",
                                view=view.name, key=key, ts=base_ts)
             if not completion.triggered:
+                completion.defuse()
                 completion.fail(exc)
-                completion._defused = True
         except Exception as exc:
             if not completion.triggered:
+                completion.defuse()
                 completion.fail(exc)
-                completion._defused = True
             raise
         finally:
             backpressure.release()
-            self.pending_propagations -= 1
+            self._inline_pending -= 1
 
     @staticmethod
     def _merge_guess(seen: Dict[Any, ViewKeyGuess],
@@ -403,7 +579,7 @@ class ViewManager:
             self.maintainer.metrics.retry_rounds += 1
             self.cluster.trace("propagation", "round failed; backing off",
                                view=view.name, key=key, round=rounds)
-            yield self.env.timeout(self.config.propagation_retry_backoff)
+            yield self.env.timeout(self._retry_delay(rounds))
             if rounds % 4 == 0:
                 # Refresh guesses from the base replicas: slow peers may
                 # have propagated by now, giving us a valid entry point.
@@ -414,6 +590,20 @@ class ViewManager:
                     self._merge_guess(merged, guess)
                 guesses[:] = sorted(merged.values(),
                                     key=lambda g: g.timestamp, reverse=True)
+
+    def _retry_delay(self, rounds: int) -> float:
+        """Backoff before retry round ``rounds + 1``: exponential from
+        ``propagation_retry_backoff``, capped at
+        ``propagation_retry_backoff_cap``, jittered into ``[d/2, d)`` by
+        the deterministic sim RNG.  A fixed interval would retry every
+        contending propagation in lockstep, re-colliding on the same
+        lock/chain state each round; the jitter spreads the wakeups."""
+        base = self.config.propagation_retry_backoff
+        if base <= 0:
+            return 0.0
+        delay = min(base * (2.0 ** (rounds - 1)),
+                    self.config.propagation_retry_backoff_cap)
+        return delay * (0.5 + 0.5 * self._rng.random())
 
     def _attempt_round(self, coordinator, view: ViewDefinition,
                        key: Hashable, guesses: List[ViewKeyGuess],
@@ -459,7 +649,7 @@ class ViewManager:
                     "session's coordinator "
                     f"(session: {session.coordinator_id}, "
                     f"request: {coordinator.node.node_id})")
-            pending = len(session.pending_for(view_name))
+            pending = session.pending_barriers(view_name)
             if pending:
                 self.cluster.trace("session", "view Get blocking",
                                    view=view_name,

@@ -159,8 +159,8 @@ class MasterBasedViews:
             ts = yield from self._apply_at_master(master_id, table, key,
                                                   values, w)
         except BaseException as exc:
+            completion.defuse()
             completion.fail(exc)
-            completion._defused = True
             if self._tails.get(chain_key) is completion:
                 del self._tails[chain_key]
             raise

@@ -1,0 +1,313 @@
+"""Per-node update log for view propagation (the transactional outbox).
+
+Algorithm 1 acknowledges a base Put at W replicas and drives view
+maintenance asynchronously.  The outbox pipeline decouples the two
+halves completely: the Put path *appends* a record describing the
+committed update to its coordinator node's :class:`NodeOutbox`, and a
+small pool of background consumer processes (one log per node, see
+:meth:`ViewManager._consume_outbox`) drains the log in batches and runs
+``PropagateUpdate`` (Algorithm 2) per record.  The queue between the two
+is what absorbs bursts: writes keep acking at storage speed while the
+backlog levels the maintenance load over time.
+
+Log format
+----------
+
+Records are totally ordered per node by ``seq`` (1-based, dense).  One
+record describes one Put's effect on one view:
+
+``(seq, view, table, key, update_values, base_ts, sources)``
+
+``update_values`` are the Put's watched columns as raw application
+values (``None`` for tombstones); ``sources`` are the response
+collectors of the base-row round trips that observed the pre-update
+view keys (Algorithm 1's guesses are extracted from them at consume
+time, after every replica has answered or timed out).
+
+Coalescing rule
+---------------
+
+Two pending records for the same ``(view, key)`` chain are redundant
+when the newer one *subsumes* the older: it carries at least the same
+columns, at an equal-or-later ``base_ts``, and — when the view key is
+among them — the same *effective* view key (after the selection
+predicate maps rejected/NULL values to the NULL anchor).  Skipping the
+older record then leaves the view in exactly the state LWW would have
+produced, without consuming a propagation: same live row, same stale
+rows, same cell timestamps from the winner.  Updates that *move* the
+row between view keys are never coalesced — each transition writes a
+distinct stale row that Algorithm 4 readers and the oracle both expect.
+
+The superseded record is not dropped silently: it becomes a *rider* on
+the winner, and its completion event (plus its seq in the watermark
+bookkeeping) resolves when the winner's propagation does, so session
+barriers registered against the older offset remain exact.
+
+Backpressure
+------------
+
+The log is bounded by ``max_pending_propagations`` tokens per node
+(counting queued *and* in-flight records): producers ``yield
+backpressure.acquire()`` before appending, so base Puts block — rather
+than queue unboundedly — once the node's maintenance backlog is full.
+Coalescing releases the superseded record's token immediately, which is
+what lets a hot key absorb an arbitrarily long burst in bounded space.
+
+Consumption is at-most-once *by design*: a record is claimed (removed
+from the pending log) before its propagation runs, so a coordinator
+crash mid-propagation loses the update exactly as the paper's
+prototype would (Section VIII) — that divergence window is what the
+repair scrubber exists to close.  The ``low_watermark`` (highest seq
+below which every record has resolved) is what session barriers and the
+scrubber consult.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.common.records import ColumnName
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Semaphore
+from repro.views.definition import ViewDefinition
+from repro.views.versioned import NULL_VIEW_KEY
+
+__all__ = ["OutboxRecord", "NodeOutbox"]
+
+
+class OutboxRecord:
+    """One committed base update awaiting propagation to one view."""
+
+    __slots__ = ("seq", "view", "table", "key", "update_values", "base_ts",
+                 "sources", "completion", "riders", "superseded")
+
+    def __init__(self, seq: int, view: ViewDefinition, table: str,
+                 key: Hashable, update_values: Dict[ColumnName, Any],
+                 base_ts: int, source: Tuple[object, object],
+                 completion: Event):
+        self.seq = seq
+        self.view = view
+        self.table = table
+        self.key = key
+        self.update_values = update_values
+        self.base_ts = base_ts
+        # (collector, extract) pairs; grows when superseded records fold
+        # their observed view-key versions into the winner's guess set.
+        self.sources: List[Tuple[object, object]] = [source]
+        self.completion = completion
+        self.riders: List[Event] = []
+        self.superseded = False
+
+    @property
+    def chain_key(self) -> Tuple[str, Hashable]:
+        """The per-(view, base key) serialization domain."""
+        return (self.view.name, self.key)
+
+    def _effective_view_key(self) -> Any:
+        raw = self.update_values[self.view.view_key_column]
+        return raw if self.view.accepts_key(raw) else NULL_VIEW_KEY
+
+    def supersedes(self, old: "OutboxRecord") -> bool:
+        """True if propagating only ``self`` leaves the view exactly as
+        propagating ``old`` then ``self`` would (the coalescing rule)."""
+        if old.base_ts > self.base_ts:
+            return False
+        if not set(old.update_values) <= set(self.update_values):
+            return False
+        if self.view.view_key_column in old.update_values:
+            # A view-key *transition* writes a stale row readers expect;
+            # only same-destination refreshes are redundant.
+            if old._effective_view_key() != self._effective_view_key():
+                return False
+        return True
+
+    def resolve(self, exc: Optional[BaseException] = None) -> None:
+        """Fire the completion event (and any riders') with the outcome.
+
+        Failures are defused first: lost/abandoned propagations are
+        expected outcomes recorded in the manager's counters, not
+        simulation errors.
+        """
+        for event in (self.completion, *self.riders):
+            if event.triggered:
+                continue
+            if exc is None:
+                event.succeed()
+            else:
+                event.defuse()
+                event.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " superseded" if self.superseded else ""
+        return (f"<OutboxRecord #{self.seq} {self.view.name}:{self.key!r} "
+                f"ts={self.base_ts}{flag}>")
+
+
+class NodeOutbox:
+    """The bounded per-node update log behind one coordinator."""
+
+    def __init__(self, env: Environment, node_id: int, capacity: int):
+        self.env = env
+        self.node_id = node_id
+        self.capacity = capacity
+        # Producers acquire before appending; consumers release when a
+        # record resolves (and coalescing releases the loser's token).
+        self.backpressure = Semaphore(env, tokens=capacity)
+        self._ready: deque[OutboxRecord] = deque()
+        # chain_key -> records queued behind an in-flight record.
+        self._blocked: Dict[Tuple[str, Hashable], deque] = {}
+        self._in_flight: Set[Tuple[str, Hashable]] = set()
+        # chain_key -> newest *queued* record (the coalesce target).
+        self._pending_by_key: Dict[Tuple[str, Hashable], OutboxRecord] = {}
+        self._waiters: deque[Event] = deque()
+        # Watermark bookkeeping: seqs resolved above the watermark.
+        self._resolved_seqs: Set[int] = set()
+        self._watermark_waiters: List[Tuple[int, int, Event]] = []
+        self._tie = 0
+        # Observability.
+        self.appended = 0          # == last assigned seq
+        self.coalesced = 0
+        self.low_watermark = 0     # every seq <= this has resolved
+        self.depth = 0             # queued + in-flight records
+        self.max_depth = 0
+        self.view_depths: Dict[str, int] = {}
+
+    # -- producer side -----------------------------------------------------
+
+    def append(self, view: ViewDefinition, table: str, key: Hashable,
+               update_values: Dict[ColumnName, Any], base_ts: int,
+               source: Tuple[object, object],
+               completion: Event) -> OutboxRecord:
+        """Append one record (caller holds a backpressure token).
+
+        Attempts to coalesce with the newest queued record of the same
+        ``(view, key)`` chain; on success the older record is marked
+        superseded, rides on the new one, and its token is released.
+        """
+        self.appended += 1
+        record = OutboxRecord(self.appended, view, table, key,
+                              dict(update_values), base_ts, source,
+                              completion)
+        completion.add_callback(lambda _event: self._mark_resolved(record.seq))
+        chain = record.chain_key
+        target = self._pending_by_key.get(chain)
+        if target is not None and record.supersedes(target):
+            target.superseded = True
+            record.sources = target.sources + record.sources
+            record.riders = [*target.riders, target.completion]
+            target.riders = []
+            self.coalesced += 1
+            self.depth -= 1
+            self.view_depths[view.name] -= 1
+            self.backpressure.release()
+        self._pending_by_key[chain] = record
+        self.depth += 1
+        self.view_depths[view.name] = self.view_depths.get(view.name, 0) + 1
+        if self.depth > self.max_depth:
+            self.max_depth = self.depth
+        if chain in self._in_flight:
+            self._blocked.setdefault(chain, deque()).append(record)
+        else:
+            self._ready.append(record)
+            self._wake()
+        return record
+
+    # -- consumer side -----------------------------------------------------
+
+    def next_batch(self, limit: int):
+        """Process helper: claim up to ``limit`` dispatchable records.
+
+        Blocks (on an unscheduled event, so an idle outbox never keeps
+        the simulation alive) until at least one record is claimable.
+        Claimed records are committed out of the log immediately —
+        at-most-once consumption, see the module docstring.
+        """
+        while True:
+            batch = self._claim(limit)
+            if batch:
+                return batch
+            waiter = self.env.event()
+            self._waiters.append(waiter)
+            yield waiter
+
+    def done(self, record: OutboxRecord) -> None:
+        """Finish a claimed record: unblock its chain's next record."""
+        chain = record.chain_key
+        self._in_flight.discard(chain)
+        self.depth -= 1
+        self.view_depths[record.view.name] -= 1
+        blocked = self._blocked.get(chain)
+        while blocked:
+            successor = blocked.popleft()
+            if successor.superseded:
+                continue
+            self._ready.append(successor)
+            self._wake()
+            break
+        if blocked is not None and not blocked:
+            del self._blocked[chain]
+
+    # -- watermark ---------------------------------------------------------
+
+    def wait_for(self, seq: int) -> Event:
+        """Event firing once every record up to ``seq`` has resolved."""
+        event = self.env.event()
+        if seq <= self.low_watermark:
+            event.succeed()
+        else:
+            self._tie += 1
+            heapq.heappush(self._watermark_waiters, (seq, self._tie, event))
+        return event
+
+    @property
+    def lag(self) -> int:
+        """Records appended but not yet covered by the watermark."""
+        return self.appended - self.low_watermark
+
+    def pending_for(self, view_name: str) -> int:
+        """Unresolved records targeting ``view_name``."""
+        return self.view_depths.get(view_name, 0)
+
+    # -- internals ---------------------------------------------------------
+
+    def _claim(self, limit: int) -> List[OutboxRecord]:
+        batch: List[OutboxRecord] = []
+        ready = self._ready
+        while ready and len(batch) < limit:
+            record = ready.popleft()
+            if record.superseded:
+                # Resolved by its winner; nothing to run.
+                continue
+            chain = record.chain_key
+            if chain in self._in_flight:
+                # An earlier record of this chain is mid-propagation;
+                # keep FIFO order within the chain.
+                self._blocked.setdefault(chain, deque()).append(record)
+                continue
+            self._in_flight.add(chain)
+            if self._pending_by_key.get(chain) is record:
+                # In-flight records are no longer coalesce targets: the
+                # consumer has already snapshotted their contents.
+                del self._pending_by_key[chain]
+            batch.append(record)
+        return batch
+
+    def _wake(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+
+    def _mark_resolved(self, seq: int) -> None:
+        self._resolved_seqs.add(seq)
+        watermark = self.low_watermark
+        while watermark + 1 in self._resolved_seqs:
+            watermark += 1
+            self._resolved_seqs.remove(watermark)
+        if watermark == self.low_watermark:
+            return
+        self.low_watermark = watermark
+        waiters = self._watermark_waiters
+        while waiters and waiters[0][0] <= watermark:
+            _seq, _tie, event = heapq.heappop(waiters)
+            event.succeed()

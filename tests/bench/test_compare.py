@@ -49,13 +49,25 @@ def test_compare_documents_flags_only_breaching_topics():
     assert "REGRESSION" in result.format_table()
 
 
-def test_topics_on_one_side_are_not_failures():
-    before = {"gone": _doc("gone", 1000.0)}
-    after = {"new": _doc("new", 1000.0)}
+def test_new_topics_are_not_failures():
+    """The suite may grow: after-only topics pass the gate."""
+    before = {"a": _doc("a", 1000.0)}
+    after = {"a": _doc("a", 1000.0), "new": _doc("new", 1000.0)}
     result = compare_documents(before, after)
     assert result.ok
-    assert result.only_before == ["gone"]
     assert result.only_after == ["new"]
+
+
+def test_missing_baseline_topics_fail_the_gate():
+    """A deleted benchmark must not silently pass CI: every topic in
+    the before run has to be present in the after run."""
+    before = {"a": _doc("a", 1000.0), "gone": _doc("gone", 1000.0)}
+    after = {"a": _doc("a", 1000.0)}
+    result = compare_documents(before, after)
+    assert not result.ok
+    assert result.only_before == ["gone"]
+    assert not result.regressions  # missing, not regressed
+    assert "MISSING" in result.format_table()
 
 
 def test_invalid_threshold_rejected():
@@ -92,6 +104,17 @@ def test_cli_compare_exits_zero_within_threshold(tmp_path, capsys):
                  str(tmp_path / "after")])
     assert code == 0
     assert "OK" in capsys.readouterr().out
+
+
+def test_cli_compare_exits_nonzero_on_missing_baseline_topic(tmp_path, capsys):
+    """Deleting a benchmark from the suite must fail the CLI gate even
+    when every surviving topic is at parity."""
+    _write_run(tmp_path / "before", fig4_read=1000.0, fig6_write=1000.0)
+    _write_run(tmp_path / "after", fig4_read=1000.0)
+    code = main(["compare", str(tmp_path / "before"),
+                 str(tmp_path / "after")])
+    assert code == 1
+    assert "MISSING" in capsys.readouterr().out
 
 
 def test_cli_compare_respects_threshold_flag(tmp_path, capsys):

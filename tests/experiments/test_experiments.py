@@ -177,6 +177,23 @@ def test_ext_repair_quick(quick):
     assert "time-to-convergence" in (result.notes or "")
 
 
+def test_ext_outburst_quick(quick):
+    from repro.experiments import ext_outburst
+
+    result = ext_outburst.run(quick)
+    assert {"steady", "burst", "drain"} <= set(result.column("phase"))
+    steady_peak = max(result.series("phase", "steady", "queue_depth"),
+                      default=0)
+    burst_peak = max(result.series("phase", "burst", "queue_depth"))
+    # The burst builds a real backlog — but backpressure bounds it.
+    assert burst_peak > steady_peak
+    assert burst_peak <= quick.outburst_capacity
+    # The backlog fully drains (last sample at depth 0) and leaves the
+    # view in exact agreement with the base table.
+    assert result.rows[-1][2] == 0
+    assert "residual divergence 0 rows" in result.notes
+
+
 def test_mixed_op_fraction_validated():
     from repro.workloads import mixed_op
 

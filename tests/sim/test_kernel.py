@@ -443,3 +443,28 @@ def test_determinism_same_seedless_structure():
         return order
 
     assert build_and_run() == build_and_run()
+
+
+def test_unconsumed_failed_event_escalates():
+    env = Environment()
+    env.event().fail(RuntimeError("nobody is waiting"))
+    with pytest.raises(ProcessError):
+        env.run()
+
+
+def test_defused_failed_event_does_not_escalate():
+    """Event.defuse() marks an expected failure as handled: the kernel
+    must not escalate it even with no waiter consuming the failure."""
+    env = Environment()
+    event = env.event()
+    assert event.defuse() is event  # chains
+    event.fail(RuntimeError("expected outcome"))
+    env.run()  # would raise ProcessError without the defuse
+
+
+def test_defuse_after_trigger_also_suppresses_escalation():
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("late defuse"))
+    event.defuse()
+    env.run()

@@ -1,0 +1,193 @@
+"""The outbox pipeline: coalescing, chain FIFO, backpressure, scrubber
+interaction, and observability.
+
+These tests run the full stack with ``propagation_pipeline="outbox"``
+(the default) and slow propagation delays so records pile up in the
+per-node logs while base Puts keep acking — the load-leveling behaviour
+the pipeline exists for.
+"""
+
+from repro.cluster import Cluster
+from repro.repair import divergent_base_keys
+from repro.sim.latency import Fixed
+from repro.views import (
+    ViewDefinition,
+    check_view,
+    collect_entries,
+    live_entries,
+)
+
+from tests.repair.conftest import VIEW, build, populate, run_for
+from tests.views.conftest import make_config
+
+
+def _drive(cluster, puts, *, coordinator_id=1, w=2):
+    """Run ``puts`` (key, values, ts) back-to-back through one client,
+    then drain the simulation."""
+    def workload():
+        client = cluster.client(coordinator_id=coordinator_id)
+        for key, values, ts in puts:
+            yield from client.put("T", key, values, w, ts)
+    process = cluster.env.process(workload())
+    cluster.env.run(until=process)
+    cluster.run_until_idle()
+
+
+def test_hot_key_burst_coalesces_to_latest():
+    """Back-to-back refreshes of one (view, key) chain collapse: the log
+    keeps at most the claimed record plus one queued successor, and the
+    view converges to exactly the last write."""
+    cluster = build(propagation_delay=Fixed(10.0))
+    puts = [(0, {"vk": "a"}, 100)]
+    puts += [(0, {"m": f"v{i}"}, 101 + i) for i in range(10)]
+    _drive(cluster, puts)
+
+    manager = cluster.view_manager
+    stats = manager.outbox_stats()
+    assert stats["appended"] == 11
+    # The first m-refresh is claimed (or queued) before the rest arrive;
+    # every later one supersedes its queued predecessor.
+    assert stats["coalesced"] >= 8
+    assert 0.0 < stats["coalesce_ratio"] < 1.0
+    # Coalesced records never ran Algorithm 2 — only the survivors did.
+    assert manager.completed_propagations == (
+        stats["appended"] - stats["coalesced"])
+    assert manager.lost_propagations == 0
+    # Fully drained: no depth, watermark caught up to the log head.
+    assert stats["depth"] == 0
+    assert stats["lag"] == 0
+
+    assert check_view(cluster, VIEW) == []
+    live = live_entries(cluster, VIEW)
+    assert list(live[0]) == ["a"]
+    cell = live[0]["a"].cells.get("m")
+    assert cell is not None and cell.value == "v9"
+
+
+def test_view_key_transitions_never_coalesce():
+    """Each view-key move writes a distinct stale row Algorithm 4
+    readers rely on; the log must propagate every transition."""
+    cluster = build(propagation_delay=Fixed(10.0))
+    _drive(cluster, [(0, {"vk": key}, 100 + i)
+                     for i, key in enumerate(["a", "b", "c"])])
+
+    manager = cluster.view_manager
+    stats = manager.outbox_stats()
+    assert stats["appended"] == 3
+    assert stats["coalesced"] == 0
+    assert manager.completed_propagations == 3
+
+    assert check_view(cluster, VIEW) == []
+    assert list(live_entries(cluster, VIEW)[0]) == ["c"]
+    # The intermediate destinations left their (stale) rows behind.
+    assert {"a", "b", "c"} <= set(collect_entries(cluster, VIEW)[0])
+
+
+def test_same_destination_refresh_coalesces():
+    """Re-writing the same view key is not a transition: queued
+    duplicates collapse."""
+    cluster = build(propagation_delay=Fixed(10.0))
+    _drive(cluster, [(0, {"vk": "a"}, 100 + i) for i in range(3)])
+
+    manager = cluster.view_manager
+    stats = manager.outbox_stats()
+    assert stats["appended"] == 3
+    assert stats["coalesced"] == 1
+    assert manager.completed_propagations == 2
+    assert check_view(cluster, VIEW) == []
+    assert list(live_entries(cluster, VIEW)[0]) == ["a"]
+
+
+def test_predicate_rejected_keys_coalesce_via_null_anchor():
+    """Selection predicates map rejected values to the NULL anchor:
+    two different rejected raw values are the *same* effective view key,
+    so their records coalesce."""
+    view = ViewDefinition("PV", "T", "vk", ("m",),
+                          key_predicate=lambda v: v == "keep")
+    cluster = Cluster(make_config(propagation_delay=Fixed(10.0)))
+    cluster.create_table("T")
+    cluster.create_view(view)
+    _drive(cluster, [(0, {"vk": f"drop-{i}"}, 100 + i) for i in range(3)])
+
+    stats = cluster.view_manager.outbox_stats()
+    assert stats["appended"] == 3
+    assert stats["coalesced"] == 1
+    assert check_view(cluster, view) == []
+
+
+def test_burst_queue_depth_bounded_by_backpressure():
+    """A 30-Put burst over distinct keys through one coordinator: the
+    node's log never holds more than ``max_pending_propagations``
+    records, every Put still completes, and the view converges."""
+    cluster = build(max_pending_propagations=4,
+                    propagation_delay=Fixed(5.0))
+    env = cluster.env
+    client = cluster.client(coordinator_id=1)
+    for i in range(30):
+        env.process(client.put(
+            "T", i, {"vk": f"g{i % 3}", "m": f"m{i}"}, 2, 100 + i))
+    cluster.run_until_idle()
+
+    manager = cluster.view_manager
+    stats = manager.outbox_stats()
+    assert stats["appended"] == 30
+    assert stats["max_depth"] <= 4
+    assert stats["per_node"][1]["max_depth"] <= 4
+    # Distinct keys: nothing to coalesce, everything propagated.
+    assert stats["coalesced"] == 0
+    assert manager.completed_propagations == 30
+    assert stats["depth"] == 0
+    assert stats["lag"] == 0
+    assert divergent_base_keys(cluster, VIEW) == []
+    assert check_view(cluster, VIEW) == []
+
+
+def test_scrubber_defers_while_outbox_has_backlog():
+    """Propagation lag is not divergence: the scrubber must skip a view
+    whose records are still queued instead of issuing repairs that race
+    the consumers."""
+    cluster = build(propagation_delay=Fixed(100.0))
+    populate(cluster, 3)  # settles: no backlog yet
+
+    env = cluster.env
+    client = cluster.client(coordinator_id=1)
+    env.process(client.put("T", 0, {"m": "late"}, 2, 10))
+    run_for(cluster, 2.0)  # record appended; consumer sleeping ~100 ms
+    assert cluster.view_manager.outbox_pending(VIEW.name) == 1
+
+    scrubber = cluster.start_scrubber(interval=5.0)
+    run_for(cluster, 30.0)  # several rounds inside the backlog window
+    assert scrubber.metrics.deferred_backlog >= 1
+    assert scrubber.metrics.divergences_found == 0
+    assert scrubber.metrics.repairs_applied == 0
+
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert cluster.view_manager.outbox_pending(VIEW.name) == 0
+    assert divergent_base_keys(cluster, VIEW) == []
+
+
+def test_outbox_stats_shape():
+    cluster = build()
+    populate(cluster, 2)
+    stats = cluster.view_manager.outbox_stats()
+    assert set(stats) == {"appended", "coalesced", "coalesce_ratio",
+                          "depth", "max_depth", "lag", "per_node"}
+    assert set(stats["per_node"]) == {0, 1, 2, 3}
+    assert stats["appended"] >= 2
+    assert stats["depth"] == 0
+    per_node = stats["per_node"][0]
+    assert set(per_node) == {"appended", "coalesced", "depth", "max_depth",
+                             "low_watermark", "lag"}
+
+
+def test_inline_pipeline_still_supported():
+    """``propagation_pipeline="inline"`` restores the per-Put driver:
+    no outbox activity, same converged view."""
+    cluster = build(propagation_pipeline="inline")
+    populate(cluster, 3)
+    manager = cluster.view_manager
+    assert manager.outbox_stats()["appended"] == 0
+    assert manager.outbox_pending() == 0
+    assert manager.completed_propagations >= 3
+    assert check_view(cluster, VIEW) == []

@@ -1,0 +1,157 @@
+"""Property test: the outbox pipeline converges to the oracle under
+bursty arrivals and coordinator crashes.
+
+Random single-column workloads arrive in bursts (``burst_gap == 0``
+means back-to-back Puts that pile into the logs and coalesce) while a
+deterministic crash hook loses a random subset of the *consumed*
+records.  Afterwards:
+
+- the queue depth never exceeded the ``max_pending_propagations`` bound
+  (backpressure, not unbounded buffering, absorbed the burst);
+- every injected crash is accounted for in ``lost_propagations``;
+- the scrubber restores exact agreement with the
+  :mod:`repro.views.model` reference oracle, coalescing and all.
+
+This is the whole-pipeline analogue of
+``tests/repair/test_property.py`` (which drives the paced, no-coalesce
+shape of the same workload).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.chaos import ChaosMonkey
+from repro.errors import NodeDownError, QuorumError
+from repro.repair import divergent_base_keys
+from repro.views import (
+    NULL_VIEW_KEY,
+    BaseUpdate,
+    ReferenceViewModel,
+    check_view,
+    live_entries,
+)
+
+from tests.repair.conftest import VIEW, build, run_for
+
+BASE_KEYS = ["k1", "k2", "k3"]
+VIEW_KEYS = ["a", "b", None]
+MAT_VALUES = ["x", "y", None]
+
+
+def update_strategy():
+    return st.one_of(
+        st.tuples(st.sampled_from(BASE_KEYS), st.just("vk"),
+                  st.sampled_from(VIEW_KEYS)),
+        st.tuples(st.sampled_from(BASE_KEYS), st.just("m"),
+                  st.sampled_from(MAT_VALUES)),
+    )
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    updates=st.lists(update_strategy(), min_size=2, max_size=12),
+    crash_indices=st.sets(st.integers(min_value=0, max_value=9), max_size=3),
+    burst_gap=st.sampled_from([0.0, 0.5, 2.0]),
+)
+def test_outbox_converges_to_oracle_under_crashes_and_bursts(
+        updates, crash_indices, burst_gap):
+    cluster = build(max_pending_propagations=8)
+    env = cluster.env
+    manager = cluster.view_manager
+
+    monkey = ChaosMonkey(cluster, auto=False)
+    seen = [0]
+    lost = []
+
+    def crash_these(_view, key, base_ts) -> bool:
+        index = seen[0]
+        seen[0] += 1
+        if index in crash_indices:
+            lost.append((key, base_ts))
+            return True
+        return False
+
+    if crash_indices:
+        monkey.crash_during_propagation(count=len(crash_indices),
+                                        downtime=10.0, match=crash_these)
+
+    applied = []
+
+    def workload():
+        clients = {}
+        for i, (key, column, value) in enumerate(updates):
+            ts = (i + 1) * 10
+            for attempt in range(12):
+                coordinator_id = (i + attempt) % 4
+                client = clients.get(coordinator_id)
+                if client is None:
+                    client = cluster.client(coordinator_id=coordinator_id)
+                    clients[coordinator_id] = client
+                try:
+                    yield from client.put("T", key, {column: value}, 2, ts)
+                except (NodeDownError, QuorumError):
+                    yield env.timeout(5.0)
+                    continue
+                applied.append(BaseUpdate(key, column, value, ts))
+                break
+            else:
+                raise AssertionError(f"update {i} never succeeded")
+            if burst_gap:
+                yield env.timeout(burst_gap)
+
+    process = env.process(workload())
+    env.run(until=process)
+    monkey.stop()
+    cluster.run_until_idle()  # drain the logs and any revivals
+
+    # Backpressure held: bursts queued, but never past the bound.
+    stats = manager.outbox_stats()
+    assert stats["max_depth"] <= cluster.config.max_pending_propagations
+    assert stats["depth"] == 0
+    assert stats["lag"] == 0
+    # Conservation: every appended record either coalesced into a
+    # survivor or ran to one of the three propagation outcomes.
+    assert stats["appended"] - stats["coalesced"] == (
+        manager.completed_propagations + manager.lost_propagations
+        + manager.abandoned_propagations)
+    assert manager.lost_propagations == len(lost)
+
+    if lost:
+        scrubber = cluster.start_scrubber(interval=20.0, rate_limit=0.05)
+        rounds_cap = 40
+        for _round in range(rounds_cap):
+            if not divergent_base_keys(cluster, VIEW):
+                break
+            run_for(cluster, 50.0)
+        else:
+            raise AssertionError(
+                f"scrubber did not converge within {rounds_cap} windows: "
+                f"{divergent_base_keys(cluster, VIEW)}")
+        scrubber.stop()
+        cluster.run_until_idle()
+
+    assert divergent_base_keys(cluster, VIEW) == []
+    assert check_view(cluster, VIEW) == []
+
+    # Live rows agree exactly with the reference oracle.
+    reference = ReferenceViewModel(VIEW)
+    for update in applied:
+        reference.propagate(update)
+    live = live_entries(cluster, VIEW)
+    for key in BASE_KEYS:
+        expected_live = reference.live_key_for(key)
+        entries = live.get(key, {})
+        if expected_live is None:
+            assert entries == {}, (key, entries)
+            continue
+        assert list(entries) == [expected_live], (key, entries)
+        if expected_live == NULL_VIEW_KEY:
+            continue
+        (entry,) = entries.values()
+        expected_values = reference.live_values_for(key)
+        assert expected_values is not None
+        for column, expected_value in expected_values.items():
+            cell = entry.cells.get(column)
+            actual = (None if cell is None or cell.is_null else cell.value)
+            assert actual == expected_value, (key, column)

@@ -1,0 +1,92 @@
+"""Exponential, capped, jittered retry backoff (Algorithm 1 retries).
+
+A fixed retry interval re-collides every contending propagation on the
+same lock/chain state each round.  The replacement schedule doubles from
+``propagation_retry_backoff`` up to ``propagation_retry_backoff_cap``
+and jitters each delay into ``[d/2, d)`` from the deterministic
+``view-propagation`` RNG stream — so retries spread out, while identical
+seeds still replay identically.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+
+from tests.repair.conftest import build
+
+
+def _delays(manager, rounds):
+    return [manager._retry_delay(r) for r in rounds]
+
+
+def test_backoff_is_jittered_within_round_bounds():
+    manager = build().view_manager
+    base = manager.config.propagation_retry_backoff
+    cap = manager.config.propagation_retry_backoff_cap
+    for _ in range(50):
+        delay = manager._retry_delay(1)
+        assert base / 2 <= delay < base
+    for _ in range(50):
+        delay = manager._retry_delay(100)  # far past the cap
+        assert cap / 2 <= delay < cap
+
+
+def test_backoff_grows_exponentially_until_cap():
+    manager = build(propagation_retry_backoff=1.0,
+                    propagation_retry_backoff_cap=8.0).view_manager
+    # Strip the jitter by normalising into the nominal (pre-jitter)
+    # delay: delay / jitter_factor is the deterministic schedule.
+    nominal = []
+    for rounds in range(1, 8):
+        delay = manager._retry_delay(rounds)
+        # jitter maps d -> d * [0.5, 1.0); recover d's bounds instead of
+        # the exact value.
+        nominal.append((delay, min(2.0 ** (rounds - 1), 8.0)))
+    for delay, expected in nominal:
+        assert expected / 2 <= delay < expected
+    # Rounds 5+ are all capped at 8.0.
+    assert all(4.0 <= delay < 8.0 for delay, expected in nominal[4:])
+
+
+def test_zero_base_disables_backoff():
+    manager = build(propagation_retry_backoff=0.0).view_manager
+    assert manager._retry_delay(1) == 0.0
+    assert manager._retry_delay(50) == 0.0
+
+
+def test_successive_retries_desynchronize():
+    """The point of the jitter: two contenders drawing consecutive
+    delays for the same round must not sleep identically."""
+    manager = build().view_manager
+    draws = _delays(manager, [3] * 10)
+    assert len(set(draws)) > 1
+
+
+def test_backoff_is_deterministic_across_identical_clusters():
+    first = _delays(build().view_manager, range(1, 11))
+    second = _delays(build().view_manager, range(1, 11))
+    assert first == second
+
+
+def test_cap_below_base_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(propagation_retry_backoff=2.0,
+                      propagation_retry_backoff_cap=1.0)
+
+
+def test_contending_hot_key_workload_converges():
+    """End-to-end: many same-key writers force guess retries; the
+    jittered schedule must still converge the view (and the backoff cap
+    bounds each wait)."""
+    from repro.views import check_view
+    from tests.repair.conftest import VIEW
+
+    cluster = build(propagation_retry_backoff=0.2,
+                    propagation_retry_backoff_cap=2.0)
+    client = cluster.sync_client()
+    for i in range(12):
+        client.put("T", "hot", {"vk": f"g{i % 2}", "m": i}, w=2,
+                   timestamp=i + 1)
+    client.settle()
+    assert check_view(cluster, VIEW) == []
+    assert cluster.view_manager.abandoned_propagations == 0

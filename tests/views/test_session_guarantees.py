@@ -162,6 +162,49 @@ def test_session_get_on_other_coordinator_rejected():
     cluster.run_until_idle()
 
 
+@pytest.mark.parametrize("pipeline", ["outbox", "inline"])
+def test_session_get_survives_crashed_propagation(pipeline):
+    """Regression: a coordinator crash that loses the session's pending
+    propagation must *release* the barrier, not raise the propagation's
+    ``CoordinatorCrashError`` into the client's Get.  The client then
+    simply observes the (diverged) view — the row is missing until the
+    scrubber heals it."""
+    from repro.cluster.chaos import ChaosMonkey
+    from repro.errors import NodeDownError, QuorumError
+
+    cluster = build(propagation_delay=Fixed(5.0),
+                    propagation_pipeline=pipeline)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(count=1, downtime=10.0)
+    client = cluster.client(coordinator_id=0)
+    env = cluster.env
+    results = {}
+
+    def scenario():
+        client.begin_session()
+        yield from client.put("T", "k", {"vk": "a", "m": "x"}, 2)
+        # The Get blocks in the barrier while the crash fires.  The
+        # coordinator itself is down for a while after the crash, so a
+        # real client would retry — only transient availability errors
+        # are expected here, never the crash of the background work.
+        for _ in range(20):
+            try:
+                rows = yield from client.get_view("V", "a", ["m"], 2)
+            except (NodeDownError, QuorumError):
+                yield env.timeout(2.0)
+                continue
+            results["rows"] = rows
+            break
+        client.end_session()
+
+    process = env.process(scenario())
+    env.run(until=process)
+    monkey.stop()
+    cluster.run_until_idle()
+    assert results["rows"] == []
+    assert cluster.view_manager.lost_propagations == 1
+
+
 def test_end_session_clears_state():
     cluster = build()
     client = cluster.sync_client()
