@@ -156,7 +156,18 @@ class ChaosMonkey:
         self._revive_now(node_id)
 
     def _revive_now(self, node_id: int) -> None:
-        if node_id in self._down:
-            self._down.remove(node_id)
+        """Recover ``node_id`` if this monkey still owes it a revival.
+
+        Safe against the two lifecycle races the scenario harness
+        provokes: a node someone else already recovered (skip the
+        cluster call — ``recover_node`` on an up node would re-trigger
+        hint replay — but settle our books), and a pending ``_revive``
+        firing after :meth:`stop` already revived everything (no-op:
+        the node is no longer in ``_down``).
+        """
+        if node_id not in self._down:
+            return
+        self._down.remove(node_id)
+        if self.cluster.node(node_id).is_down:
             self.cluster.recover_node(node_id)
-            self.recoveries += 1
+        self.recoveries += 1

@@ -27,7 +27,9 @@ class ClientHandle:
         self.cluster = cluster
         self.client_id = client_id
         self.coordinator_id = coordinator_id
-        self.oracle = TimestampOracle(client_id, lambda: cluster.env.now)
+        # The oracle reads this client's (possibly skewed) wall clock —
+        # see Cluster.client_clock(); adversaries drift it mid-run.
+        self.oracle = TimestampOracle(client_id, cluster.client_clock(client_id))
         self.session = None
 
     # -- plumbing ------------------------------------------------------------

@@ -67,6 +67,9 @@ class Cluster:
         self.scrubbers: List = []
         # Opt-in structured tracing (see enable_tracing()).
         self.tracer = None
+        # Per-client wall-clock offsets (ms); consulted live by every
+        # client's timestamp oracle (see client_clock()).
+        self._clock_skews: Dict[int, float] = {}
 
     # -- topology ------------------------------------------------------------
 
@@ -168,6 +171,40 @@ class Cluster:
 
         return SyncClient(self.client(coordinator_id))
 
+    # -- client clocks -------------------------------------------------------
+
+    def client_clock(self, client_id: int):
+        """The wall-clock function for ``client_id``'s timestamp oracle.
+
+        The paper's system model orders updates by *client-supplied*
+        timestamps, which in practice come from imperfectly synchronized
+        client clocks.  Each client's clock is the simulated time plus a
+        per-client offset (default 0), looked up live so a clock-skew
+        adversary can drift a client mid-run.  Clamped at zero: a
+        skewed clock never runs before the epoch.
+        """
+        skews = self._clock_skews
+
+        def now() -> float:
+            return max(0.0, self.env.now + skews.get(client_id, 0.0))
+
+        return now
+
+    def set_clock_skew(self, client_id: int, offset_ms: float) -> None:
+        """Skew ``client_id``'s wall clock by ``offset_ms`` (may be < 0)."""
+        if offset_ms == 0.0:
+            self._clock_skews.pop(client_id, None)
+        else:
+            self._clock_skews[client_id] = offset_ms
+
+    def clear_clock_skews(self) -> None:
+        """Restore every client clock to simulated time."""
+        self._clock_skews.clear()
+
+    def clock_skew_of(self, client_id: int) -> float:
+        """The current clock offset of ``client_id`` (0 when unskewed)."""
+        return self._clock_skews.get(client_id, 0.0)
+
     # -- failure injection -----------------------------------------------------------
 
     def fail_node(self, node_id: int) -> None:
@@ -178,6 +215,25 @@ class Cluster:
         """Bring ``node_id`` back online and wake hint replay."""
         self.node(node_id).mark_up()
         self.hints.notify_recovery()
+
+    def slow_node(self, node_id: int, cpu_factor: float = 1.0,
+                  link_factor: float = 1.0) -> None:
+        """Gray-fail ``node_id``: inflate its CPU and/or link latency.
+
+        The node stays up and keeps answering — late.  Factors must be
+        >= 1; ``restore_node_speed`` undoes both.
+        """
+        node = self.node(node_id)
+        node.set_cpu_slowdown(cpu_factor)
+        if link_factor != 1.0:
+            self.network.set_slowdown(node_id, link_factor)
+        else:
+            self.network.clear_slowdown(node_id)
+
+    def restore_node_speed(self, node_id: int) -> None:
+        """Undo :meth:`slow_node` for ``node_id``."""
+        self.node(node_id).set_cpu_slowdown(1.0)
+        self.network.clear_slowdown(node_id)
 
     def partition(self, a: int, b: int) -> None:
         """Block traffic between nodes ``a`` and ``b``."""

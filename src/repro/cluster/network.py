@@ -11,7 +11,7 @@ themselves with quorum timeouts.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any, FrozenSet, Set
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Set, Tuple
 
 from repro.sim.kernel import Environment, Event, Timeout
 from repro.sim.latency import LatencyModel
@@ -42,6 +42,9 @@ class Network:
         self._rng = rng
         self.message_loss = message_loss
         self._partitions: Set[FrozenSet[int]] = set()
+        # Gray failures: per-endpoint delay inflation factors (slow NIC,
+        # overloaded switch port) — the node answers, just late.
+        self._slowdowns: Dict[int, float] = {}
         # Counters for observability/tests.
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -64,12 +67,50 @@ class Network:
         """True if traffic between ``a`` and ``b`` is blocked."""
         return frozenset((a, b)) in self._partitions
 
+    def active_partitions(self) -> List[Tuple[int, int]]:
+        """All currently blocked endpoint pairs, as sorted tuples.
+
+        The scenario harness's ``ClusterHealed`` invariant uses this to
+        assert adversaries cleaned up after themselves."""
+        return sorted(tuple(sorted(pair)) for pair in self._partitions)
+
+    # -- gray failures -------------------------------------------------------
+
+    def set_slowdown(self, endpoint_id: int, factor: float) -> None:
+        """Inflate every message delay to/from ``endpoint_id`` by ``factor``.
+
+        Models a *gray* failure: the endpoint stays up and keeps
+        answering, but its link latency is multiplied — the failure mode
+        health checks miss because nothing is actually down.  ``factor``
+        must be >= 1; messages through two slowed endpoints compound.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self._slowdowns[endpoint_id] = factor
+
+    def clear_slowdown(self, endpoint_id: int) -> None:
+        """Remove the delay inflation for ``endpoint_id`` if present."""
+        self._slowdowns.pop(endpoint_id, None)
+
+    def clear_all_slowdowns(self) -> None:
+        """Remove every endpoint slowdown."""
+        self._slowdowns.clear()
+
+    def slowdown_of(self, endpoint_id: int) -> float:
+        """The current delay inflation factor for ``endpoint_id``."""
+        return self._slowdowns.get(endpoint_id, 1.0)
+
     # -- delays ----------------------------------------------------------------
 
     def one_way_delay(self, src_id: int, dst_id: int) -> float:
         """Sample the one-way delay for a message between two endpoints."""
         link = self.client_link if CLIENT in (src_id, dst_id) else self.replica_link
-        return link.sample(self._rng)
+        delay = link.sample(self._rng)
+        slowdowns = self._slowdowns
+        if slowdowns:
+            delay *= (slowdowns.get(src_id, 1.0)
+                      * slowdowns.get(dst_id, 1.0))
+        return delay
 
     def _lost(self) -> bool:
         return self.message_loss > 0 and self._rng.random() < self.message_loss

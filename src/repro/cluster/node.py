@@ -50,6 +50,9 @@ class StorageNode:
         self.index_schema = index_schema
         self._fragments: Dict[Tuple[str, ColumnName], LocalIndexFragment] = {}
         self.is_down = False
+        # Gray failure: multiplier on every CPU service time (a thermally
+        # throttled or noisy-neighbor node — up, but slow).
+        self.cpu_slowdown = 1.0
         # Observability counters.
         self.requests_handled = 0
         self.busy_time = 0.0
@@ -67,6 +70,18 @@ class StorageNode:
     def mark_up(self) -> None:
         """Bring the node back online (its stored state is retained)."""
         self.is_down = False
+
+    def set_cpu_slowdown(self, factor: float) -> None:
+        """Inflate every CPU service time by ``factor`` (gray failure).
+
+        ``factor`` must be >= 1; ``1.0`` restores normal speed.  The
+        node keeps serving requests — slower, which is exactly what
+        makes gray failures harder on quorum systems than crashes: the
+        slow replica still counts against timeouts.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.cpu_slowdown = factor
 
     # -- schema ------------------------------------------------------------------
 
@@ -104,6 +119,8 @@ class StorageNode:
         CPU charges are the innermost loop of every request handler, and
         the nested ``use`` generator showed up in profiles.
         """
+        if self.cpu_slowdown != 1.0:
+            duration *= self.cpu_slowdown
         self.busy_time += duration
         cpu = self.cpu
         if cpu._in_use < cpu.capacity:
@@ -167,6 +184,8 @@ class StorageNode:
         replica write, and the per-write wrapper process dominated its
         own simulated cost.
         """
+        if self.cpu_slowdown != 1.0:
+            duration *= self.cpu_slowdown
         self.busy_time += duration
         cpu = self.cpu
 

@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablations,
     crossover,
+    ext_adversary,
     ext_outburst,
     ext_repair,
     fig3_read_latency,
@@ -32,6 +33,7 @@ __all__ = [
     "fig8_update_skew",
     "ablations",
     "crossover",
+    "ext_adversary",
     "ext_repair",
     "ext_outburst",
 ]

@@ -20,6 +20,7 @@ from repro.experiments import (
     ExperimentParams,
     ablations,
     crossover,
+    ext_adversary,
     ext_outburst,
     ext_repair,
     fig3_read_latency,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "ext1": lambda p: crossover.run(p),
     "ext_repair": lambda p: ext_repair.run(p),
     "ext_outburst": lambda p: ext_outburst.run(p),
+    "ext_adversary": lambda p: ext_adversary.run(p),
 }
 
 

@@ -82,6 +82,10 @@ class ExperimentParams:
     outburst_sample_every: float = 5.0
     outburst_capacity: int = 32
 
+    # Extension E4 (ext_adversary): workload ops per cell of the
+    # adversary × pipeline scenario matrix.
+    adversary_ops: int = 120
+
     def quick(self) -> "ExperimentParams":
         """A much smaller variant for tests of the experiment harness."""
         return ExperimentParams(
@@ -104,6 +108,7 @@ class ExperimentParams:
             outburst_steady_ops=20,
             outburst_burst_ops=100,
             outburst_sample_every=5.0,
+            adversary_ops=40,
             seed=self.seed,
         )
 

@@ -24,6 +24,7 @@ __all__ = [
     "PAYLOAD_COLUMN",
     "VIEW_NAME",
     "sec_value",
+    "mv_view_definition",
     "build_scenario",
 ]
 
@@ -36,6 +37,18 @@ VIEW_NAME = "DATA_BY_SEC"
 def sec_value(key: int) -> str:
     """The unique secondary-key value of base row ``key``."""
     return f"sec-{key}"
+
+
+def mv_view_definition(materialize_payload: bool = True) -> ViewDefinition:
+    """The MV scenario's view over ``DATA``, keyed on ``sec``.
+
+    ``materialize_payload`` mirrors the paper's split: read experiments
+    answer queries from the view alone (payload materialized), write
+    experiments define the view on the key column only so maintenance
+    never copies payload data.
+    """
+    materialized = (PAYLOAD_COLUMN,) if materialize_payload else ()
+    return ViewDefinition(VIEW_NAME, TABLE, SEC_COLUMN, materialized)
 
 
 def build_scenario(kind: str, config: ClusterConfig, rows: int,
@@ -61,9 +74,7 @@ def build_scenario(kind: str, config: ClusterConfig, rows: int,
     if kind == "si":
         cluster.create_index(TABLE, SEC_COLUMN)
     elif kind == "mv":
-        materialized = (PAYLOAD_COLUMN,) if materialize_payload else ()
-        cluster.create_view(ViewDefinition(
-            VIEW_NAME, TABLE, SEC_COLUMN, materialized))
+        cluster.create_view(mv_view_definition(materialize_payload))
     if populate and rows > 0:
         _populate(cluster, rows, payload_length)
     return cluster

@@ -214,6 +214,18 @@ class ViewScrubber:
         for _bucket, key in plan.rows:
             if self.rate_limit > 0:
                 yield env.timeout(self.rate_limit)
+            if coordinator.node.is_down:
+                # Crash-loop resilience: the scrub coordinator died
+                # mid-round.  Re-elect a live node instead of burning
+                # the rest of the round's budget on guaranteed RPC
+                # timeouts (200 ms each against a dead coordinator).
+                coordinator = self._alive_coordinator()
+                if coordinator is None:
+                    return spent, False
+                self.metrics.coordinator_switches += 1
+                cluster.trace("scrub", "coordinator re-elected mid-round",
+                              view=view.name,
+                              coordinator=coordinator.node.node_id)
             spent += 1
             self.metrics.rows_scanned += 1
             try:

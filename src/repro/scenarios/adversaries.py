@@ -1,0 +1,434 @@
+"""Composable adversaries: deterministic fault injectors for scenarios.
+
+An :class:`Adversary` is a reusable fault-injection strategy a
+:class:`~repro.scenarios.runner.Scenario` starts alongside its workload
+and stops before quiescence.  The contract:
+
+- :meth:`~Adversary.start` spawns simulation processes that inject
+  faults, drawing all randomness from a dedicated
+  :class:`~repro.sim.rng.RandomStreams` stream derived from the
+  adversary's label — so a scenario is bit-for-bit reproducible from
+  the cluster seed, and stacking adversaries never perturbs each
+  other's random choices.
+- :meth:`~Adversary.stop` halts injection and *heals every effect the
+  adversary caused* (recovers nodes, heals partitions, restores
+  speeds, clears skews).  The runner's ``ClusterHealed`` invariant
+  asserts this cleanup actually happened.
+
+Adversaries stack: a scenario runs any list of them concurrently, and
+each keeps its own books (cuts it made, nodes it downed) so healing is
+scoped to its own damage.  The provided set covers the failure modes
+the paper's design must tolerate:
+
+``PartitionStorm``
+    Random transient network cuts between node pairs.
+``GrayFailure``
+    Slow-node gray failures: a node's CPU service times and link
+    delays are inflated while it stays up and keeps answering — the
+    failure health checks miss.
+``ClockSkew``
+    Client wall clocks drift by random offsets, so client-supplied
+    timestamps (the paper's update ordering) invert relative to issue
+    order.
+``CrashLoop``
+    One node — by default the scrub coordinator — crash-loops: short
+    uptime, crash, short downtime, repeat.
+``CrashStorm``
+    Random node crashes across the cluster; wraps
+    :class:`~repro.cluster.chaos.ChaosMonkey`, growing it into the
+    composable framework.
+``BurstArrivals``
+    Open-loop arrival-rate bursts: periodically multiplies the
+    workload's arrival rate (via ``Scenario.arrival_scale``), driving
+    the propagation backlog toward its backpressure bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.cluster.chaos import ChaosMonkey
+from repro.sim.latency import LatencyModel, Uniform
+
+__all__ = [
+    "Adversary",
+    "PartitionStorm",
+    "GrayFailure",
+    "ClockSkew",
+    "CrashLoop",
+    "CrashStorm",
+    "BurstArrivals",
+]
+
+
+class Adversary:
+    """Base class: a start/stop fault injector bound to a scenario."""
+
+    name = "adversary"
+
+    def __init__(self):
+        self._stopped = False
+        # Unique per scenario run; assigned by Scenario.run() before
+        # start() so stacked same-type adversaries get distinct streams.
+        self.label = self.name
+
+    def rng(self, scenario):
+        """This adversary's dedicated deterministic random stream."""
+        return scenario.cluster.streams.stream(f"adversary:{self.label}")
+
+    def start(self, scenario) -> None:
+        """Begin injecting faults (spawn simulation processes)."""
+        self._stopped = False
+
+    def stop(self, scenario) -> None:
+        """Stop injecting and heal every effect this adversary caused."""
+        self._stopped = True
+
+    def describe(self) -> str:
+        """One-line summary for scenario reports."""
+        return self.label
+
+
+class PartitionStorm(Adversary):
+    """Transient random network cuts between node pairs.
+
+    Every ``pause`` (a latency model sample) the storm picks a random
+    node pair, cuts it for a ``duration`` sample, then heals it.  At
+    most ``max_cuts`` of this storm's cuts are active at once; on a
+    4-node, RF=3 cluster the default single cut leaves every quorum
+    reachable through the remaining links, so operations must ride it
+    out (with retries) rather than fail permanently.
+    """
+
+    name = "partition-storm"
+
+    def __init__(self, pause: Optional[LatencyModel] = None,
+                 duration: Optional[LatencyModel] = None,
+                 max_cuts: int = 1):
+        super().__init__()
+        if max_cuts < 1:
+            raise ValueError("max_cuts must be >= 1")
+        self.pause = pause or Uniform(20.0, 60.0)
+        self.duration = duration or Uniform(10.0, 40.0)
+        self.max_cuts = max_cuts
+        self.cuts_made = 0
+        self._active: Set[Tuple[int, int]] = set()
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        scenario.cluster.env.process(self._loop(scenario),
+                                     name=f"{self.label}-loop")
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        for pair in list(self._active):
+            self._heal(scenario, pair)
+
+    def _heal(self, scenario, pair: Tuple[int, int]) -> None:
+        if pair in self._active:
+            self._active.discard(pair)
+            scenario.cluster.heal_partition(*pair)
+
+    def _loop(self, scenario):
+        cluster = scenario.cluster
+        env = cluster.env
+        rng = self.rng(scenario)
+        nodes = cluster.config.nodes
+        while not self._stopped:
+            yield env.timeout(self.pause.sample(rng))
+            if self._stopped:
+                return
+            if len(self._active) >= self.max_cuts or nodes < 2:
+                continue
+            a, b = rng.sample(range(nodes), 2)
+            pair = (min(a, b), max(a, b))
+            if pair in self._active:
+                continue
+            cluster.partition(*pair)
+            self._active.add(pair)
+            self.cuts_made += 1
+            env.process(self._heal_later(scenario, pair,
+                                         self.duration.sample(rng)),
+                        name=f"{self.label}-heal")
+
+    def _heal_later(self, scenario, pair, delay):
+        yield scenario.cluster.env.timeout(delay)
+        self._heal(scenario, pair)
+
+
+class GrayFailure(Adversary):
+    """Slow-node gray failures: inflated service and link latency.
+
+    Periodically picks a node and multiplies its CPU service times by
+    ``cpu_factor`` and its link delays by ``link_factor`` for a
+    ``duration`` sample — the node stays up and answers, just late.
+    This is the failure mode crash detectors miss: quorum operations
+    slow down (the gray node drags its quorums) but must still finish.
+    """
+
+    name = "gray-failure"
+
+    def __init__(self, pause: Optional[LatencyModel] = None,
+                 duration: Optional[LatencyModel] = None,
+                 cpu_factor: float = 8.0, link_factor: float = 8.0,
+                 max_slow: int = 1):
+        super().__init__()
+        if cpu_factor < 1.0 or link_factor < 1.0:
+            raise ValueError("slowdown factors must be >= 1")
+        if max_slow < 1:
+            raise ValueError("max_slow must be >= 1")
+        self.pause = pause or Uniform(20.0, 60.0)
+        self.duration = duration or Uniform(20.0, 80.0)
+        self.cpu_factor = cpu_factor
+        self.link_factor = link_factor
+        self.max_slow = max_slow
+        self.slowdowns_injected = 0
+        self._slowed: Set[int] = set()
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        scenario.cluster.env.process(self._loop(scenario),
+                                     name=f"{self.label}-loop")
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        for node_id in list(self._slowed):
+            self._restore(scenario, node_id)
+
+    def _restore(self, scenario, node_id: int) -> None:
+        if node_id in self._slowed:
+            self._slowed.discard(node_id)
+            scenario.cluster.restore_node_speed(node_id)
+
+    def _loop(self, scenario):
+        cluster = scenario.cluster
+        env = cluster.env
+        rng = self.rng(scenario)
+        while not self._stopped:
+            yield env.timeout(self.pause.sample(rng))
+            if self._stopped:
+                return
+            if len(self._slowed) >= self.max_slow:
+                continue
+            candidates = [node.node_id for node in cluster.nodes
+                          if node.node_id not in self._slowed]
+            if not candidates:
+                continue
+            victim = rng.choice(candidates)
+            cluster.slow_node(victim, cpu_factor=self.cpu_factor,
+                              link_factor=self.link_factor)
+            self._slowed.add(victim)
+            self.slowdowns_injected += 1
+            env.process(self._restore_later(scenario, victim,
+                                            self.duration.sample(rng)),
+                        name=f"{self.label}-restore")
+
+    def _restore_later(self, scenario, node_id, delay):
+        yield scenario.cluster.env.timeout(delay)
+        self._restore(scenario, node_id)
+
+
+class ClockSkew(Adversary):
+    """Drifting client clocks: timestamp order diverges from issue order.
+
+    Every ``pause`` sample, each client the workload has registered
+    (``Scenario.client_ids``) gets a fresh uniform offset in
+    ``[-max_skew_ms, +max_skew_ms]``.  Timestamp oracles consult the
+    skewed clock live, so updates issued later can carry *older*
+    timestamps — the adversarial regime for the paper's client-supplied
+    LWW ordering, which the oracle agreement invariant must still
+    predict exactly.
+    """
+
+    name = "clock-skew"
+
+    def __init__(self, pause: Optional[LatencyModel] = None,
+                 max_skew_ms: float = 500.0):
+        super().__init__()
+        if max_skew_ms < 0:
+            raise ValueError("max_skew_ms must be non-negative")
+        self.pause = pause or Uniform(30.0, 90.0)
+        self.max_skew_ms = max_skew_ms
+        self.skews_applied = 0
+        self._skewed: Set[int] = set()
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        scenario.cluster.env.process(self._loop(scenario),
+                                     name=f"{self.label}-loop")
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        cluster = scenario.cluster
+        for client_id in list(self._skewed):
+            cluster.set_clock_skew(client_id, 0.0)
+        self._skewed.clear()
+
+    def _loop(self, scenario):
+        cluster = scenario.cluster
+        env = cluster.env
+        rng = self.rng(scenario)
+        while not self._stopped:
+            yield env.timeout(self.pause.sample(rng))
+            if self._stopped:
+                return
+            for client_id in sorted(scenario.client_ids):
+                offset = rng.uniform(-self.max_skew_ms, self.max_skew_ms)
+                cluster.set_clock_skew(client_id, offset)
+                self._skewed.add(client_id)
+                self.skews_applied += 1
+
+
+class CrashLoop(Adversary):
+    """One node crash-loops: up briefly, down briefly, forever.
+
+    The default victim is node 0 — the scrubber's default coordinator —
+    so a scenario with a scrubber exercises mid-round coordinator
+    re-election (``ScrubMetrics.coordinator_switches``) and repeated
+    hint replay on every revival.  The crash is skipped whenever the
+    victim is the last node standing.
+    """
+
+    name = "crash-loop"
+
+    def __init__(self, victim: int = 0,
+                 uptime: Optional[LatencyModel] = None,
+                 downtime: Optional[LatencyModel] = None):
+        super().__init__()
+        self.victim = victim
+        self.uptime = uptime or Uniform(30.0, 80.0)
+        self.downtime = downtime or Uniform(10.0, 30.0)
+        self.kills = 0
+        self._downed = False
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        scenario.cluster.node(self.victim)  # validates the id
+        scenario.cluster.env.process(self._loop(scenario),
+                                     name=f"{self.label}-loop")
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        self._revive(scenario)
+
+    def _revive(self, scenario) -> None:
+        if self._downed:
+            self._downed = False
+            if scenario.cluster.node(self.victim).is_down:
+                scenario.cluster.recover_node(self.victim)
+
+    def _loop(self, scenario):
+        cluster = scenario.cluster
+        env = cluster.env
+        rng = self.rng(scenario)
+        while not self._stopped:
+            yield env.timeout(self.uptime.sample(rng))
+            if self._stopped:
+                return
+            alive = [node.node_id for node in cluster.nodes
+                     if not node.is_down]
+            if self.victim not in alive or len(alive) < 2:
+                continue
+            cluster.fail_node(self.victim)
+            self._downed = True
+            self.kills += 1
+            yield env.timeout(self.downtime.sample(rng))
+            self._revive(scenario)
+
+
+class CrashStorm(Adversary):
+    """Random node crashes cluster-wide, via a wrapped ChaosMonkey.
+
+    Grows :class:`~repro.cluster.chaos.ChaosMonkey` into the composable
+    framework: the monkey's random fail/recover loop runs with a
+    dedicated stream, and ``stop`` delegates to ``ChaosMonkey.stop``
+    (which revives everything it downed, tolerating nodes some other
+    adversary's cleanup already revived).
+    """
+
+    name = "crash-storm"
+
+    def __init__(self, pause: Optional[LatencyModel] = None,
+                 downtime: Optional[LatencyModel] = None,
+                 max_down: int = 1,
+                 targets: Optional[List[int]] = None):
+        super().__init__()
+        self.pause = pause
+        self.downtime = downtime
+        self.max_down = max_down
+        self.targets = targets
+        self.monkey: Optional[ChaosMonkey] = None
+
+    @property
+    def kills(self) -> int:
+        return self.monkey.kills if self.monkey is not None else 0
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        self.monkey = ChaosMonkey(
+            scenario.cluster,
+            rng=self.rng(scenario),
+            pause=self.pause,
+            downtime=self.downtime,
+            max_down=self.max_down,
+            targets=self.targets,
+        )
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        if self.monkey is not None:
+            self.monkey.stop()
+
+
+class BurstArrivals(Adversary):
+    """Open-loop arrival bursts: periodically floor the workload gap.
+
+    Multiplies ``Scenario.arrival_scale`` by ``factor`` for a
+    ``duration`` sample every ``pause`` sample; cooperative workloads
+    divide their inter-arrival gaps by the scale.  Bursts drive the
+    propagation backlog toward ``max_pending_propagations``, so the
+    bounded-queue-depth invariant is actually load-bearing.
+    """
+
+    name = "burst-arrivals"
+
+    def __init__(self, pause: Optional[LatencyModel] = None,
+                 duration: Optional[LatencyModel] = None,
+                 factor: float = 20.0):
+        super().__init__()
+        if factor <= 1.0:
+            raise ValueError("burst factor must be > 1")
+        self.pause = pause or Uniform(40.0, 100.0)
+        self.duration = duration or Uniform(20.0, 50.0)
+        self.factor = factor
+        self.bursts = 0
+        self._bursting = False
+
+    def start(self, scenario) -> None:
+        super().start(scenario)
+        scenario.cluster.env.process(self._loop(scenario),
+                                     name=f"{self.label}-loop")
+
+    def stop(self, scenario) -> None:
+        super().stop(scenario)
+        self._end_burst(scenario)
+
+    def _end_burst(self, scenario) -> None:
+        if self._bursting:
+            self._bursting = False
+            scenario.arrival_scale /= self.factor
+
+    def _loop(self, scenario):
+        env = scenario.cluster.env
+        rng = self.rng(scenario)
+        while not self._stopped:
+            yield env.timeout(self.pause.sample(rng))
+            if self._stopped:
+                return
+            if self._bursting:
+                continue
+            scenario.arrival_scale *= self.factor
+            self._bursting = True
+            self.bursts += 1
+            yield env.timeout(self.duration.sample(rng))
+            self._end_burst(scenario)

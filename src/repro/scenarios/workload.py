@@ -1,0 +1,277 @@
+"""Scenario workloads: fault-tolerant clients that keep exact books.
+
+A scenario workload is a simulation process that drives Gets and Puts
+against the cluster while adversaries rage, and records *exactly* what
+it managed to apply so the invariant suite can build the paper's
+reference oracle afterwards.  The bookkeeping rules:
+
+- An **acked** Put (the coordinator returned under quorum ``w``) is
+  recorded as applied: LWW guarantees it will win or lose purely by
+  timestamp, so the oracle must see it.
+- A Put that never acked within the retry budget is **ambiguous**: it
+  may have reached some replicas before the failure.  At quiescence
+  :meth:`BaseWorkload.resolve_ambiguous` scans converged node storage
+  for the Put's (unique) timestamp — present anywhere means it will
+  spread by LWW and counts as applied; present nowhere means it
+  vanished with the failure and is dropped.
+- Session reads record :class:`SessionObservation`\\ s for the
+  read-your-own-propagations invariant.
+
+Retries follow the chaos-test recipe: same timestamp every attempt
+(retrying a Put is idempotent under LWW), rotating coordinators for
+ordinary clients, pinned coordinator (with waits) for session clients —
+the paper's sessions are bound to one server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import CoordinatorCrashError, NodeDownError, QuorumError
+from repro.views.model import BaseUpdate
+
+__all__ = [
+    "AmbiguousOp",
+    "SessionObservation",
+    "BaseWorkload",
+    "ScenarioWorkload",
+]
+
+# Exceptions a retry loop rides out: the coordinator is down (or died
+# mid-operation) or a quorum could not be assembled.
+RETRIABLE = (NodeDownError, QuorumError, CoordinatorCrashError)
+
+
+@dataclass
+class AmbiguousOp:
+    """A Put that never acked; resolved against converged state."""
+
+    table: str
+    key: Hashable
+    cells: Dict[str, Any]
+    timestamp: int
+
+
+@dataclass
+class SessionObservation:
+    """One session view-read taken right after a session Put.
+
+    ``rows`` holds, per returned live row, the base key and the
+    ``(value, timestamp)`` pair of each requested column.
+    """
+
+    client_id: int
+    base_key: Hashable
+    view_key: Any
+    put_ts: int
+    at: float
+    rows: List[Tuple[Hashable, Dict[str, Tuple[Any, int]]]] = field(
+        default_factory=list)
+
+
+class BaseWorkload:
+    """Bookkeeping shared by the random and schedule-driven workloads."""
+
+    def __init__(self):
+        self.applied: List[BaseUpdate] = []
+        self.ambiguous: List[AmbiguousOp] = []
+        self.observations: List[SessionObservation] = []
+        self.acked_ops = 0
+        self.unacked_ops = 0
+        self.reads_done = 0
+        self.reads_failed = 0
+        self.ambiguous_applied = 0
+        self.ambiguous_dropped = 0
+
+    def run(self, scenario):
+        """The workload simulation process (override)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def record_acked(self, key: Hashable, cells: Dict[str, Any],
+                     ts: int) -> None:
+        """An acked Put: every cell becomes an oracle update."""
+        self.acked_ops += 1
+        for column, value in cells.items():
+            self.applied.append(BaseUpdate(key, column, value, ts))
+
+    def record_ambiguous(self, table: str, key: Hashable,
+                         cells: Dict[str, Any], ts: int) -> None:
+        """A Put that exhausted its retry budget without an ack."""
+        self.unacked_ops += 1
+        self.ambiguous.append(AmbiguousOp(table, key, dict(cells), ts))
+
+    def resolve_ambiguous(self, cluster) -> None:
+        """Settle every ambiguous Put against converged node storage.
+
+        Must run after quiescence (all nodes up, hints replayed,
+        replicas repaired): a Put's cells all share one unique
+        timestamp, so finding any cell with that timestamp on any node
+        proves the write landed and will spread by LWW.
+        """
+        for op in self.ambiguous:
+            if self._landed(cluster, op):
+                self.ambiguous_applied += 1
+                for column, value in op.cells.items():
+                    self.applied.append(
+                        BaseUpdate(op.key, column, value, op.timestamp))
+            else:
+                self.ambiguous_dropped += 1
+        self.ambiguous = []
+
+    @staticmethod
+    def _landed(cluster, op: AmbiguousOp) -> bool:
+        for node in cluster.nodes:
+            if not node.engine.has_table(op.table):
+                continue
+            cells = node.engine.read_row(op.table, op.key)
+            for column in op.cells:
+                cell = cells.get(column)
+                if cell is not None and cell.timestamp == op.timestamp:
+                    return True
+        return False
+
+    def key_update_timestamps(self, key_column: str
+                              ) -> Dict[Hashable, List[int]]:
+        """Per base key, every applied timestamp of the view-key column.
+
+        The session invariant uses this to excuse a read that missed a
+        session Put because a concurrent higher-timestamp write moved
+        the row.
+        """
+        per_key: Dict[Hashable, List[int]] = {}
+        for update in self.applied:
+            if update.column == key_column:
+                per_key.setdefault(update.key, []).append(update.timestamp)
+        return per_key
+
+
+class ScenarioWorkload(BaseWorkload):
+    """The default randomized mixed workload over the scenario schema.
+
+    ``ops`` operations over ``base_keys`` base rows and ``view_keys``
+    view-key values, mixing full Puts (view key + materialized column),
+    data-only Puts (UpdateData propagation), view-key deletes (moves to
+    the NULL anchor), and session Put+read pairs.  Inter-arrival gaps
+    are exponential with mean ``mean_gap``, divided live by the
+    scenario's ``arrival_scale`` so a burst adversary can floor them.
+    All randomness comes from the cluster's ``scenario-workload``
+    stream: one seed fixes the whole history.
+    """
+
+    def __init__(self, *, ops: int = 120, base_keys: int = 6,
+                 view_keys: int = 4, mean_gap: float = 3.0,
+                 session_fraction: float = 0.25, w: int = 2, r: int = 2,
+                 max_attempts: int = 40, retry_backoff: float = 5.0):
+        super().__init__()
+        if ops < 1:
+            raise ValueError("ops must be >= 1")
+        self.ops = ops
+        self.base_keys = base_keys
+        self.view_keys = view_keys
+        self.mean_gap = mean_gap
+        self.session_fraction = session_fraction
+        self.w = w
+        self.r = r
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+
+    def run(self, scenario):
+        cluster = scenario.cluster
+        env = cluster.env
+        rng = cluster.streams.stream("scenario-workload")
+        nodes = cluster.config.nodes
+        table = scenario.view.base_table
+        key_column = scenario.view.view_key_column
+        data_column = scenario.view.materialized_columns[0]
+
+        # One rotation handle per coordinator, plus one pinned session
+        # client (sessions are bound to a server, paper Section V).
+        pool = {cid: cluster.client(coordinator_id=cid)
+                for cid in range(nodes)}
+        session_client = cluster.client(coordinator_id=0)
+        session_client.begin_session()
+        scenario.client_ids.update(h.client_id for h in pool.values())
+        scenario.client_ids.add(session_client.client_id)
+
+        for i in range(self.ops):
+            gap = rng.expovariate(1.0 / self.mean_gap)
+            yield env.timeout(gap / max(scenario.arrival_scale, 1e-9))
+
+            key = f"k{rng.randrange(self.base_keys)}"
+            if rng.random() < self.session_fraction:
+                yield from self._session_op(scenario, session_client,
+                                            table, key, i, rng)
+                continue
+
+            roll = rng.random()
+            if roll < 0.15:
+                cells = {key_column: None}
+            elif roll < 0.45:
+                cells = {data_column: f"m{i}"}
+            else:
+                cells = {key_column: f"g{rng.randrange(self.view_keys)}",
+                         data_column: f"m{i}"}
+            handle = pool[rng.randrange(nodes)]
+            ts = handle.oracle.next()
+            yield from self._rotating_put(scenario, pool, handle, table,
+                                          key, cells, ts)
+
+    # -- op drivers ----------------------------------------------------------
+
+    def _rotating_put(self, scenario, pool, handle, table, key, cells, ts):
+        """Retry an ordinary Put across coordinators, same timestamp."""
+        env = scenario.cluster.env
+        nodes = len(pool)
+        start = handle.coordinator_id
+        for attempt in range(self.max_attempts):
+            client = pool[(start + attempt) % nodes]
+            try:
+                yield from client.put(table, key, cells, self.w,
+                                      timestamp=ts)
+            except RETRIABLE:
+                yield env.timeout(self.retry_backoff)
+                continue
+            self.record_acked(key, cells, ts)
+            return
+        self.record_ambiguous(table, key, cells, ts)
+
+    def _session_op(self, scenario, client, table, key, i, rng):
+        """A session Put followed by a session view read of its row."""
+        env = scenario.cluster.env
+        view_key = f"g{rng.randrange(self.view_keys)}"
+        cells = {scenario.view.view_key_column: view_key,
+                 scenario.view.materialized_columns[0]: f"s{i}"}
+        ts = client.oracle.next()
+        for _attempt in range(self.max_attempts):
+            try:
+                yield from client.put(table, key, cells, self.w,
+                                      timestamp=ts)
+            except RETRIABLE:
+                # Sessions pin their coordinator: wait for it, don't hop.
+                yield env.timeout(self.retry_backoff)
+                continue
+            self.record_acked(key, cells, ts)
+            break
+        else:
+            self.record_ambiguous(table, key, cells, ts)
+            return
+
+        columns = scenario.view.materialized_columns
+        for _attempt in range(self.max_attempts):
+            try:
+                results = yield from client.get_view(
+                    scenario.view.name, view_key, columns, self.r)
+            except RETRIABLE:
+                yield env.timeout(self.retry_backoff)
+                continue
+            self.reads_done += 1
+            self.observations.append(SessionObservation(
+                client_id=client.client_id, base_key=key,
+                view_key=view_key, put_ts=ts, at=env.now,
+                rows=[(res.base_key, dict(res.values)) for res in results]))
+            return
+        self.reads_failed += 1

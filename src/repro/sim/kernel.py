@@ -395,13 +395,14 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event heap."""
 
-    __slots__ = ("_now", "_heap", "_eid", "_active")
+    __slots__ = ("_now", "_heap", "_eid", "_active", "_watcher")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active: Optional[Process] = None
+        self._watcher: Optional[Callable[[Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -412,6 +413,24 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active
+
+    # -- fault injection / observation ---------------------------------------
+
+    def set_event_watcher(
+            self, watcher: Optional[Callable[[Event], None]]) -> None:
+        """Install (or clear, with ``None``) the per-event watcher.
+
+        The watcher is invoked with each event as it is popped off the
+        heap, *before* its callbacks run — the one point through which
+        every simulated occurrence passes.  It is the kernel's fault
+        -injection seam: the scenario harness uses it to bound fuzzed
+        schedules by event count (a generated fault schedule may never
+        quiesce) and to observe scheduling without instrumenting every
+        subsystem.  An exception raised by the watcher aborts
+        :meth:`run` and propagates to the caller.  Watching costs one
+        ``None`` check per event when disabled.
+        """
+        self._watcher = watcher
 
     # -- event factories -----------------------------------------------------
 
@@ -451,6 +470,8 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _prio, _eid, event = heapq.heappop(self._heap)
         self._now = when
+        if self._watcher is not None:
+            self._watcher(event)
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -488,15 +509,20 @@ class Environment:
                     f"until={stop_at} is in the past (now={self._now})")
         try:
             # Hot loop: ``step()`` inlined with locals bound once.  Any
-            # change here must be mirrored in :meth:`step`.
+            # change here must be mirrored in :meth:`step`.  The watcher
+            # is bound once too: installing one mid-run takes effect on
+            # the next ``run()`` call.
             heap = self._heap
             pop = heapq.heappop
+            watcher = self._watcher
             while heap:
                 if stop_at is not None and heap[0][0] > stop_at:
                     self._now = stop_at
                     break
                 when, _prio, _eid, event = pop(heap)
                 self._now = when
+                if watcher is not None:
+                    watcher(event)
                 callbacks = event.callbacks
                 event.callbacks = None
                 for callback in callbacks:

@@ -19,7 +19,9 @@ from repro.views.invariants import (
     check_view,
     collect_entries,
     live_entries,
+    live_state_digest,
     merged_view_state,
+    state_digest,
 )
 from repro.views.locks import LockService, ReadWriteLock
 from repro.views.maintenance import PropagationMetrics, ViewKeyGuess, ViewMaintainer
@@ -76,6 +78,8 @@ __all__ = [
     "collect_entries",
     "live_entries",
     "merged_view_state",
+    "state_digest",
+    "live_state_digest",
     "BackfillReport",
     "GCReport",
     "StaleRowCollector",

@@ -19,6 +19,7 @@ evaluate the *converged* state.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Hashable, List, Optional
 
 from repro.common.records import Cell, ColumnName, cell_wins
@@ -33,6 +34,8 @@ __all__ = [
     "collect_entries",
     "live_entries",
     "check_view",
+    "state_digest",
+    "live_state_digest",
 ]
 
 
@@ -73,6 +76,65 @@ def merged_view_rows(cluster, view: ViewDefinition, view_keys
                 if column not in target or cell_wins(cell, target[column]):
                     target[column] = cell
     return rows
+
+
+def state_digest(cluster, table: str) -> str:
+    """Canonical SHA-256 of a table's LWW-merged converged state.
+
+    Rows, columns and cell (value, timestamp, tombstone) triples are
+    serialized by ``repr`` in sorted order, so two clusters hold
+    byte-identical converged state for ``table`` iff their digests are
+    equal — regardless of which replica stores what.  Works for base
+    tables and for view backing tables alike; the differential
+    (inline-vs-outbox) tests and the scenario fuzzer's determinism
+    checks both rest on this.
+    """
+    rows: Dict[Any, Dict[ColumnName, Cell]] = {}
+    for node in cluster.nodes:
+        if not node.engine.has_table(table):
+            continue
+        for key in node.engine.keys(table):
+            cells = node.engine.read_row(table, key)
+            target = rows.setdefault(key, {})
+            for column, cell in cells.items():
+                if column not in target or cell_wins(cell, target[column]):
+                    target[column] = cell
+    digest = hashlib.sha256()
+    for key in sorted(rows, key=repr):
+        digest.update(repr(key).encode("utf-8"))
+        cells = rows[key]
+        for column in sorted(cells, key=repr):
+            cell = cells[column]
+            digest.update(repr(
+                (column, cell.value, cell.timestamp, cell.tombstone)
+            ).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def live_state_digest(cluster, view: ViewDefinition) -> str:
+    """Canonical SHA-256 of a view's *live* converged rows only.
+
+    The semantic content of a view — everything Algorithm 4 can ever
+    return — ignoring stale chain residue and tombstones.  Two
+    pipelines that coalesce differently (outbox vs inline) produce
+    different backing-table bytes for the same history, because
+    coalescing skips intermediate versions and their stale rows; their
+    live digests must still be equal.
+    """
+    digest = hashlib.sha256()
+    per_base = live_entries(cluster, view)
+    for base_key in sorted(per_base, key=repr):
+        for view_key in sorted(per_base[base_key], key=repr):
+            entry = per_base[base_key][view_key]
+            digest.update(repr((base_key, view_key,
+                                entry.base_ts)).encode("utf-8"))
+            for column in sorted(entry.cells, key=repr):
+                cell = entry.cells[column]
+                if cell.is_null:
+                    continue
+                digest.update(repr(
+                    (column, cell.value, cell.timestamp)).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def entries_for_base_key(cluster, view: ViewDefinition, view_keys,

@@ -126,3 +126,16 @@ def test_session_blocking_traced():
     blocked = cluster.tracer.events("session")
     assert len(blocked) == 1
     assert blocked[0].fields["pending"] == 1
+
+
+def test_tracer_evicts_oldest_first_at_capacity():
+    """The ring buffer drops events strictly in arrival order."""
+    env = Environment()
+    tracer = Tracer(env, capacity=3)
+    for i in range(5):
+        tracer.emit("cat", f"e{i}")
+    assert [event.message for event in tracer.events()] == ["e2", "e3", "e4"]
+    assert tracer.emitted == 5  # the counter survives evictions
+    tracer.emit("cat", "e5")
+    assert [event.message for event in tracer.events()] == ["e3", "e4", "e5"]
+    assert tracer.emitted == 6

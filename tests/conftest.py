@@ -1,0 +1,29 @@
+"""Repo-wide test configuration: deterministic hypothesis profiles.
+
+Two registered profiles:
+
+- ``ci`` (the default): ``derandomize=True`` with a fixed
+  ``database=None`` — every hypothesis test explores the same example
+  sequence on every run, so CI failures always reproduce locally and
+  flakes cannot hide in random exploration.  The deadline is bounded
+  but generous; per-test ``@settings`` still override the fields they
+  set explicitly (``max_examples``, ``deadline=None`` for
+  simulation-heavy tests).
+- ``dev``: randomized exploration with the example database, for
+  local bug hunting.  Select with ``HYPOTHESIS_PROFILE=dev``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    database=None,
+    deadline=30_000,
+    print_blob=True,
+)
+settings.register_profile("dev")
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

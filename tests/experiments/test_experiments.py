@@ -194,6 +194,32 @@ def test_ext_outburst_quick(quick):
     assert "residual divergence 0 rows" in result.notes
 
 
+def test_ext_adversary_quick(quick):
+    from repro.experiments import ext_adversary
+
+    result = ext_adversary.run(quick)
+    # Every stack ran against both pipelines.
+    assert len(result.rows) == 2 * len(ext_adversary.ADVERSARY_STACKS)
+    assert set(result.column("pipeline")) == {"outbox", "inline"}
+    # No cell violated the standing invariant suite, and the matrix was
+    # not vacuous: every cell acked work and injected at least one fault.
+    assert all(v == 0 for v in result.column("violations"))
+    assert all(v > 0 for v in result.column("acked_ops"))
+    assert all(v >= 1 for v in result.column("injections"))
+
+
+def test_mv_view_definition_helper():
+    from repro.experiments.scenarios import SEC_COLUMN, mv_view_definition
+
+    view = mv_view_definition()
+    assert view.name == VIEW_NAME
+    assert view.base_table == TABLE
+    assert view.view_key_column == SEC_COLUMN
+    assert PAYLOAD_COLUMN in view.materialized_columns
+    assert mv_view_definition(materialize_payload=False
+                              ).materialized_columns == ()
+
+
 def test_mixed_op_fraction_validated():
     from repro.workloads import mixed_op
 

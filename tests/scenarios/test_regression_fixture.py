@@ -1,0 +1,53 @@
+"""Committed shrunk reproducers replay deterministically forever.
+
+``fixtures/shrunk-lost-propagation.json`` is a real fuzzer find —
+seed 0's history ddmin-shrunk to one Put plus one armed mid-propagation
+coordinator crash — with its expected no-scrub outcome pinned at commit
+time.  These tests are the contract that (a) the serialized schedule
+replays bit-for-bit from disk, and (b) the divergence it reproduces is
+exactly the class the scrubber heals.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import load_schedule, replay_schedule
+
+pytestmark = pytest.mark.scenario
+
+FIXTURES = Path(__file__).parent / "fixtures"
+LOST_PROPAGATION = FIXTURES / "shrunk-lost-propagation.json"
+
+
+def test_fixture_is_minimal():
+    schedule, expect = load_schedule(LOST_PROPAGATION)
+    assert len(schedule.ops) == 1
+    assert len(schedule.faults) == 1
+    assert schedule.faults[0]["kind"] == "lose"
+    assert expect["violations"]
+
+
+def test_fixture_replays_to_pinned_outcome():
+    schedule, expect = load_schedule(LOST_PROPAGATION)
+    result = replay_schedule(schedule, scrub=False)
+    assert result.violations == expect["violations"]
+    assert result.base_digest == expect["base_digest"]
+    assert result.view_digest == expect["view_digest"]
+    assert result.digest == expect["digest"]
+    # Lost exactly the one propagation the fixture arms.
+    assert result.stats["lost_propagations"] == 1
+
+
+def test_fixture_replay_is_deterministic():
+    schedule, _expect = load_schedule(LOST_PROPAGATION)
+    first = replay_schedule(schedule, scrub=False)
+    second = replay_schedule(schedule, scrub=False)
+    assert first.digest == second.digest
+
+
+def test_fixture_divergence_heals_under_scrub():
+    schedule, _expect = load_schedule(LOST_PROPAGATION)
+    result = replay_schedule(schedule, scrub=True)
+    assert result.ok, result.violations
+    assert result.stats["scrub"]["repairs_applied"] >= 1

@@ -105,3 +105,81 @@ def test_view_maintenance_survives_chaos(mode):
         1 for i in range(6)
         if reference.live_values_for(f"row{i}") is not None)
     assert total_rows == expected_rows > 0
+
+
+# ---------------------------------------------------------------------------
+# Revive/stop lifecycle edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_revive_skips_externally_recovered_node():
+    """A node someone else already healed must not be recovered twice.
+
+    ``recover_node`` on an up node would re-trigger hint replay; the
+    monkey must only settle its own books (drop the id, count the
+    recovery) when it finds its victim already up.
+    """
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    monkey = ChaosMonkey(cluster, auto=False)
+    cluster.fail_node(1)
+    monkey._down.append(1)
+    cluster.recover_node(1)  # external actor heals the node first
+
+    recover_calls = []
+    original = cluster.recover_node
+    cluster.recover_node = (
+        lambda node_id: (recover_calls.append(node_id), original(node_id)))
+    try:
+        monkey.stop()
+    finally:
+        cluster.recover_node = original
+    assert recover_calls == []
+    assert monkey.down_nodes == []
+    assert monkey.recoveries == 1
+
+
+def test_pending_revive_after_stop_is_noop():
+    """stop() revives everything; a pending _revive then fires idly."""
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    monkey = ChaosMonkey(cluster, auto=False)
+    cluster.fail_node(2)
+    monkey._down.append(2)
+    cluster.env.process(monkey._revive(2, downtime=50.0),
+                        name="chaos-revive")
+    monkey.stop()
+    assert not cluster.node(2).is_down
+    assert monkey.recoveries == 1
+    cluster.run(until=200.0)  # the timer fires; node no longer owed
+    assert not cluster.node(2).is_down
+    assert monkey.recoveries == 1
+    assert monkey.down_nodes == []
+
+
+def test_stop_is_idempotent():
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    monkey = ChaosMonkey(cluster, auto=False)
+    cluster.fail_node(3)
+    monkey._down.append(3)
+    monkey.stop()
+    monkey.stop()
+    assert monkey.recoveries == 1
+    assert not cluster.node(3).is_down
+
+
+def test_crash_hook_inert_after_stop():
+    """An armed propagation-crash hook never fires once stopped."""
+    cluster = Cluster(make_config())
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    monkey = ChaosMonkey(cluster, auto=False)
+    monkey.crash_during_propagation(count=1)
+    monkey.stop()
+    client = cluster.sync_client()
+    client.put("T", "k", {"vk": "a", "m": 1})
+    client.settle()
+    assert monkey.kills == 0
+    assert cluster.view_manager.lost_propagations == 0
+    assert cluster.view_manager.completed_propagations >= 1
