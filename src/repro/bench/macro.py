@@ -12,7 +12,10 @@ sizes:
 - ``ext_repair_scrub`` — scrub throughput of the background view
   scrubber healing crash-induced base/view divergence (extension E2);
 - ``ext_outburst`` — the outbox pipeline absorbing a 10x write burst
-  (extension E3): bounded queue depth, coalescing, full drain.
+  (extension E3): bounded queue depth, coalescing, full drain;
+- ``ext_skew`` — eager versus adaptive heavy/light view maintenance
+  under Zipf skew (extension E5): near-parity at low skew, >= 2x for
+  adaptive at high skew, zero residual divergence after quiescence.
 
 ``simulated_ops`` counts completed client operations (or, for the
 scrubber, rows scanned) — dividing by wall seconds gives the headline
@@ -272,9 +275,72 @@ def ext_outburst(params: BenchParams) -> TopicResult:
     )
 
 
+def ext_skew(params: BenchParams) -> TopicResult:
+    """Adaptive heavy/light maintenance under Zipf skew (extension E5).
+
+    Runs the extension E5 workload (``repro.experiments.ext_skew``) at a
+    low and a high Zipf exponent, eager versus adaptive.  The metrics
+    carry the acceptance gate: ``speedup_high`` must stay >= 2x (the
+    theta >= 1.2 point), ``speedup_low`` near 1x (the crossover's flat
+    end), and ``residual_divergent_rows`` must be 0 in every cell —
+    folded deltas are lag, never loss.
+    """
+    from repro.experiments.ext_skew import (
+        adaptive_overrides,
+        run_skew_point,
+        skew_config,
+    )
+
+    population = params.scaled(128, 512)
+    clients = params.scaled(4, 10)
+    duration = float(params.scaled(300, 1_200))
+    warmup = float(params.scaled(50, 250))
+    theta_low, theta_high = 0.2, 1.2
+
+    cells = {}
+    total_ops = 0
+    total_sim_ms = 0.0
+    for theta_name, theta in (("low", theta_low), ("high", theta_high)):
+        for mode, overrides in (("eager", {}),
+                                ("adaptive", adaptive_overrides())):
+            config = skew_config(params.seed, **overrides)
+            cell = run_skew_point(config, theta=theta,
+                                  population=population, clients=clients,
+                                  duration=duration, warmup=warmup)
+            cells[(theta_name, mode)] = cell
+            total_ops += cell["operations"]
+            total_sim_ms += duration - warmup
+
+    def speedup(theta_name: str) -> float:
+        eager = cells[(theta_name, "eager")]["throughput"]
+        adaptive = cells[(theta_name, "adaptive")]["throughput"]
+        return adaptive / eager if eager else float("inf")
+
+    residual = sum(cell["divergent_rows"] for cell in cells.values())
+    return TopicResult(
+        simulated_ops=total_ops,
+        params={"population": population, "clients": clients,
+                "duration": duration, "theta_low": theta_low,
+                "theta_high": theta_high},
+        simulated_duration_ms=total_sim_ms,
+        metrics={
+            "eager_ops_low": cells[("low", "eager")]["operations"],
+            "adaptive_ops_low": cells[("low", "adaptive")]["operations"],
+            "eager_ops_high": cells[("high", "eager")]["operations"],
+            "adaptive_ops_high": cells[("high", "adaptive")]["operations"],
+            "speedup_low": round(speedup("low"), 3),
+            "speedup_high": round(speedup("high"), 3),
+            "folded": cells[("high", "adaptive")]["folded"],
+            "heavy_keys": cells[("high", "adaptive")]["heavy_keys"],
+            "residual_divergent_rows": residual,
+        },
+    )
+
+
 TOPICS = {
     "fig4_read": fig4_read,
     "fig6_write": fig6_write,
     "ext_repair_scrub": ext_repair_scrub,
     "ext_outburst": ext_outburst,
+    "ext_skew": ext_skew,
 }

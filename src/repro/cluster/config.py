@@ -135,6 +135,27 @@ class ClusterConfig:
     propagation_retry_backoff_cap: float = 8.0
     propagation_max_rounds: int = 200
 
+    # Skew-adaptive maintenance (repro.views.skew).  When enabled (and
+    # the pipeline is "outbox"), per-node decayed update counters
+    # classify (view, base key) chains heavy/light: a chain is promoted
+    # to lazy maintenance when its decayed count reaches
+    # ``skew_promote_threshold`` and demoted below
+    # ``skew_demote_threshold`` (hysteresis); counts halve every
+    # ``skew_decay_half_life`` ms.  Heavy-chain records fold into
+    # per-chain delta buffers flushed every ``skew_fold_interval`` ms
+    # (or earlier by a read), re-queueing on failure up to
+    # ``skew_flush_max_attempts`` before the chain is left to the
+    # scrubber.
+    skew_adaptive: bool = False
+    skew_promote_threshold: float = 8.0
+    skew_demote_threshold: float = 2.0
+    skew_decay_half_life: float = 50.0
+    skew_fold_interval: float = 20.0
+    skew_flush_max_attempts: int = 12
+    # Hot-view read-through cache capacity in result entries; 0 disables
+    # the cache (repro.views.skew.HotViewCache).
+    view_cache_capacity: int = 0
+
     # Background view scrubber defaults (consumed by repro.repair).
     # Base interval between scrub rounds; per-round row verification
     # budget; Merkle-tree depth for range-level skip of clean ranges
@@ -188,6 +209,20 @@ class ClusterConfig:
                 "propagation_retry_backoff")
         if self.propagation_max_rounds < 1:
             raise ValueError("propagation_max_rounds must be >= 1")
+        if self.skew_promote_threshold <= 0:
+            raise ValueError("skew_promote_threshold must be positive")
+        if not 0 < self.skew_demote_threshold <= self.skew_promote_threshold:
+            raise ValueError(
+                "skew_demote_threshold must be in "
+                "(0, skew_promote_threshold]")
+        if self.skew_decay_half_life <= 0:
+            raise ValueError("skew_decay_half_life must be positive")
+        if self.skew_fold_interval <= 0:
+            raise ValueError("skew_fold_interval must be positive")
+        if self.skew_flush_max_attempts < 1:
+            raise ValueError("skew_flush_max_attempts must be >= 1")
+        if self.view_cache_capacity < 0:
+            raise ValueError("view_cache_capacity must be non-negative")
         if self.scrub_interval <= 0:
             raise ValueError("scrub_interval must be positive")
         if self.scrub_row_budget < 1:

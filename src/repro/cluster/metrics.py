@@ -44,6 +44,20 @@ class ClusterSnapshot:
     outbox_appended: int = 0
     outbox_coalesced: int = 0
     outbox_depth: int = 0
+    # Propagation lock-service contention (the Figure 8 bottleneck).
+    lock_acquisitions: int = 0
+    lock_contentions: int = 0
+    lock_wait_time: float = 0.0
+    lock_max_queue_depth: int = 0
+    # Skew-adaptive maintenance (repro.views.skew): records folded into
+    # heavy-key deltas, deltas awaiting flush, chains currently heavy.
+    folded_propagations: int = 0
+    skew_pending_chains: int = 0
+    skew_heavy_keys: int = 0
+    # Hot-view read-through cache.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
     @staticmethod
     def capture(cluster) -> "ClusterSnapshot":
@@ -51,6 +65,9 @@ class ClusterSnapshot:
         manager = cluster.view_manager
         scrubbers = getattr(cluster, "scrubbers", ())
         outbox = manager.outbox_stats() if manager else {}
+        locks = manager.locks if manager else None
+        skew = manager.skew_stats() if manager else {}
+        cache = skew.get("cache", {})
         return ClusterSnapshot(
             at=cluster.env.now,
             nodes=[NodeSnapshot(node.node_id, node.busy_time,
@@ -72,6 +89,16 @@ class ClusterSnapshot:
             outbox_appended=outbox.get("appended", 0),
             outbox_coalesced=outbox.get("coalesced", 0),
             outbox_depth=outbox.get("depth", 0),
+            lock_acquisitions=locks.acquisitions if locks else 0,
+            lock_contentions=locks.contentions if locks else 0,
+            lock_wait_time=locks.wait_time_total if locks else 0.0,
+            lock_max_queue_depth=locks.max_queue_depth if locks else 0,
+            folded_propagations=skew.get("folded_propagations", 0),
+            skew_pending_chains=skew.get("pending_chains", 0),
+            skew_heavy_keys=skew.get("heavy_keys", 0),
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            cache_invalidations=cache.get("invalidations", 0),
         )
 
 

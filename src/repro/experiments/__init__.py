@@ -6,6 +6,7 @@ from repro.experiments import (
     ext_adversary,
     ext_outburst,
     ext_repair,
+    ext_skew,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -36,4 +37,5 @@ __all__ = [
     "ext_adversary",
     "ext_repair",
     "ext_outburst",
+    "ext_skew",
 ]

@@ -23,6 +23,7 @@ from repro.experiments import (
     ext_adversary,
     ext_outburst,
     ext_repair,
+    ext_skew,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "ext_repair": lambda p: ext_repair.run(p),
     "ext_outburst": lambda p: ext_outburst.run(p),
     "ext_adversary": lambda p: ext_adversary.run(p),
+    "ext_skew": lambda p: ext_skew.run(p),
 }
 
 

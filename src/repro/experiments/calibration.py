@@ -86,6 +86,14 @@ class ExperimentParams:
     # adversary × pipeline scenario matrix.
     adversary_ops: int = 120
 
+    # Extension E5 (ext_skew): Zipfian view-key updates, eager versus
+    # adaptive heavy/light maintenance.  ``zipf_thetas`` spans mild to
+    # severe skew; the >= 2x acceptance point sits at theta >= 1.2.
+    zipf_population: int = 512
+    zipf_thetas: Tuple[float, ...] = (0.2, 0.6, 0.9, 1.2, 1.4)
+    zipf_clients: int = 10
+    zipf_duration: float = 1_200.0
+
     def quick(self) -> "ExperimentParams":
         """A much smaller variant for tests of the experiment harness."""
         return ExperimentParams(
@@ -109,6 +117,10 @@ class ExperimentParams:
             outburst_burst_ops=100,
             outburst_sample_every=5.0,
             adversary_ops=40,
+            zipf_population=128,
+            zipf_thetas=(0.6, 1.2),
+            zipf_clients=4,
+            zipf_duration=300.0,
             seed=self.seed,
         )
 

@@ -18,8 +18,13 @@ stop*:
     (barriers wait for *resolution*, not success).
 ``OutboxConservation``
     No propagation vanishes without an accounting entry: appended
-    records minus coalesced equals completed + lost + abandoned, and
-    the queues are empty at quiescence (inline mode: nothing pending).
+    records minus coalesced equals completed + lost + abandoned +
+    folded, and the queues are empty at quiescence (inline mode:
+    nothing pending).
+``SkewDrained``
+    Heavy/light maintenance left nothing behind: every folded record
+    was either flushed or loudly dropped to the scrubber, and no delta
+    chain is still pending after fold + drain.
 ``BoundedQueueDepth``
     Backpressure held: the propagation backlog never exceeded its
     configured bound, even under burst adversaries.
@@ -42,6 +47,7 @@ __all__ = [
     "ViewOracleAgreement",
     "SessionReadYourWrites",
     "OutboxConservation",
+    "SkewDrained",
     "BoundedQueueDepth",
     "NoLeakedLocks",
     "ClusterHealed",
@@ -150,7 +156,8 @@ class SessionReadYourWrites(Invariant):
         violations = []
         manager = scenario.cluster.view_manager
         failures_excuse = (manager.lost_propagations
-                           + manager.abandoned_propagations) > 0
+                           + manager.abandoned_propagations
+                           + manager.skew.dropped_records) > 0
         key_ts = scenario.workload.key_update_timestamps(
             scenario.view.view_key_column)
         for obs in scenario.workload.observations:
@@ -191,7 +198,8 @@ class OutboxConservation(Invariant):
                 f"outbox lag {stats['lag']} != 0 after quiescence")
         resolved = (manager.completed_propagations
                     + manager.lost_propagations
-                    + manager.abandoned_propagations)
+                    + manager.abandoned_propagations
+                    + manager.folded_propagations)
         survivors = stats["appended"] - stats["coalesced"]
         if survivors != resolved:
             violations.append(
@@ -199,7 +207,29 @@ class OutboxConservation(Invariant):
                 f"coalesced {stats['coalesced']} = {survivors}, but "
                 f"completed {manager.completed_propagations} + lost "
                 f"{manager.lost_propagations} + abandoned "
-                f"{manager.abandoned_propagations} = {resolved}")
+                f"{manager.abandoned_propagations} + folded "
+                f"{manager.folded_propagations} = {resolved}")
+        return violations
+
+
+class SkewDrained(Invariant):
+    """Lazy maintenance fully drained: folded == flushed + dropped."""
+
+    name = "skew-drained"
+
+    def check(self, scenario) -> List[str]:
+        skew = scenario.cluster.view_manager.skew
+        violations = []
+        pending = skew.pending_chains()
+        if pending != 0:
+            violations.append(
+                f"{pending} delta chains still pending after quiescence")
+        accounted = skew.flushed_records + skew.dropped_records
+        if skew.folded_records != accounted:
+            violations.append(
+                f"fold accounting broken: folded {skew.folded_records} != "
+                f"flushed {skew.flushed_records} + dropped "
+                f"{skew.dropped_records}")
         return violations
 
 
@@ -254,6 +284,7 @@ STANDING_INVARIANTS = (
     ViewOracleAgreement(),
     SessionReadYourWrites(),
     OutboxConservation(),
+    SkewDrained(),
     BoundedQueueDepth(),
     NoLeakedLocks(),
     ClusterHealed(),

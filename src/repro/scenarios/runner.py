@@ -239,6 +239,10 @@ class Scenario:
         cluster.env.run(until=cluster.repair_table(self.view.name))
         cluster.run_until_idle()
 
+        # Cache coherence is driven by the propagation stream; the
+        # replica-level anti-entropy above rewrote view rows beneath it,
+        # so converged-state judging starts from a cold cache.
+        manager.skew.cache.clear()
         self.workload.resolve_ambiguous(cluster)
 
     def _record_unhealed(self) -> None:
@@ -372,7 +376,10 @@ class Scenario:
             outbox = manager.outbox_stats()
             stats["outbox"] = {key: outbox[key]
                                for key in ("appended", "coalesced", "depth",
-                                           "max_depth", "lag")}
+                                           "max_depth", "lag", "folded")}
+        if manager.skew.enabled:
+            stats["skew"] = manager.skew_stats()
+        stats["locks"] = manager.locks.stats()
         if scrubber is not None:
             stats["scrub"] = {
                 "rounds": scrubber.metrics.rounds,

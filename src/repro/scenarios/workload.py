@@ -165,13 +165,17 @@ class ScenarioWorkload(BaseWorkload):
     def __init__(self, *, ops: int = 120, base_keys: int = 6,
                  view_keys: int = 4, mean_gap: float = 3.0,
                  session_fraction: float = 0.25, w: int = 2, r: int = 2,
-                 max_attempts: int = 40, retry_backoff: float = 5.0):
+                 max_attempts: int = 40, retry_backoff: float = 5.0,
+                 key_chooser=None):
         super().__init__()
         if ops < 1:
             raise ValueError("ops must be >= 1")
         self.ops = ops
         self.base_keys = base_keys
         self.view_keys = view_keys
+        # Optional KeyChooser (e.g. ZipfianKeys) replacing the uniform
+        # base-key draw — the skew scenarios hammer a hot head this way.
+        self.key_chooser = key_chooser
         self.mean_gap = mean_gap
         self.session_fraction = session_fraction
         self.w = w
@@ -201,7 +205,10 @@ class ScenarioWorkload(BaseWorkload):
             gap = rng.expovariate(1.0 / self.mean_gap)
             yield env.timeout(gap / max(scenario.arrival_scale, 1e-9))
 
-            key = f"k{rng.randrange(self.base_keys)}"
+            if self.key_chooser is not None:
+                key = f"k{self.key_chooser.choose(rng)}"
+            else:
+                key = f"k{rng.randrange(self.base_keys)}"
             if rng.random() < self.session_fraction:
                 yield from self._session_op(scenario, session_client,
                                             table, key, i, rng)

@@ -36,6 +36,12 @@ from repro.views.model import (
 from repro.views.propagators import PropagatorPool
 from repro.views.read import ViewResult, view_get
 from repro.views.session import Session, SessionManager
+from repro.views.skew import (
+    HotViewCache,
+    PendingDelta,
+    SkewService,
+    UpdateFrequencyTracker,
+)
 from repro.views.stats import ViewStats, compute_stats
 from repro.views.versioned import (
     NULL_VIEW_KEY,
@@ -90,4 +96,8 @@ __all__ = [
     "MasterBasedViews",
     "ViewStats",
     "compute_stats",
+    "SkewService",
+    "UpdateFrequencyTracker",
+    "PendingDelta",
+    "HotViewCache",
 ]

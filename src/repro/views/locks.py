@@ -39,6 +39,11 @@ class ReadWriteLock:
         return self._writer or self._readers > 0
 
     @property
+    def queue_depth(self) -> int:
+        """Waiters queued behind the current holder(s)."""
+        return len(self._queue)
+
+    @property
     def idle(self) -> bool:
         """True when unheld with an empty queue (eligible for GC)."""
         return not self.held and not self._queue
@@ -118,6 +123,11 @@ class LockService:
         self._locks: Dict[Tuple[str, Hashable], ReadWriteLock] = {}
         self.acquisitions = 0
         self.contentions = 0
+        # Contention observability (the Figure 8 bottleneck, measurable):
+        # total simulated ms spent blocked on grants, and the deepest
+        # wait queue ever seen behind a single (view, base key) lock.
+        self.wait_time_total = 0.0
+        self.max_queue_depth = 0
 
     def _lock(self, view: str, base_key: Hashable) -> ReadWriteLock:
         key = (view, base_key)
@@ -135,7 +145,13 @@ class LockService:
         grant = lock.acquire(exclusive)
         if not grant.triggered:
             self.contentions += 1
-        yield grant
+            if lock.queue_depth > self.max_queue_depth:
+                self.max_queue_depth = lock.queue_depth
+            waited_from = self.env.now
+            yield grant
+            self.wait_time_total += self.env.now - waited_from
+        else:
+            yield grant
         self.acquisitions += 1
 
     def release(self, view: str, base_key: Hashable, exclusive: bool) -> None:
@@ -150,3 +166,16 @@ class LockService:
     def active_locks(self) -> int:
         """Locks currently held or queued."""
         return len(self._locks)
+
+    def stats(self) -> Dict[str, float]:
+        """Contention counters for snapshots and experiments."""
+        return {
+            "acquisitions": self.acquisitions,
+            "contentions": self.contentions,
+            "wait_time_total": round(self.wait_time_total, 6),
+            "mean_wait": round(
+                self.wait_time_total / self.contentions, 6
+            ) if self.contentions else 0.0,
+            "max_queue_depth": self.max_queue_depth,
+            "active_locks": self.active_locks,
+        }

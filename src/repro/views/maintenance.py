@@ -104,6 +104,12 @@ class ViewMaintainer:
         self.env = cluster.env
         self.quorum = majority(cluster.config.replication_factor)
         self.metrics = PropagationMetrics()
+        # Optional write hook ``(view_name, view_key) -> None``: the
+        # manager points this at the hot-view cache's invalidation so
+        # every view write — propagation, delta flush, scrub repair,
+        # backfill — evicts the row it touched (cache coherence is
+        # driven by the propagation stream, not TTLs).
+        self.on_view_write = None
 
     # -- low-level view I/O (majority quorums) ---------------------------------
 
@@ -115,6 +121,8 @@ class ViewMaintainer:
     def _view_put(self, coordinator, view_name: str, view_key: Any,
                   cells: Dict[ColumnName, Cell]):
         yield from coordinator.put(view_name, view_key, cells, self.quorum)
+        if self.on_view_write is not None:
+            self.on_view_write(view_name, view_key)
 
     # -- Algorithm 3: GetLiveKey -------------------------------------------------
 

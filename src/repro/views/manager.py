@@ -64,6 +64,7 @@ from repro.views.maintenance import ViewKeyGuess, ViewMaintainer
 from repro.views.outbox import NodeOutbox
 from repro.views.propagators import PropagatorPool
 from repro.views.session import SessionManager
+from repro.views.skew import SkewService
 
 __all__ = ["BackfillReport", "ViewManager"]
 
@@ -108,6 +109,7 @@ class ViewManager:
         self.completed_propagations = 0
         self.lost_propagations = 0
         self.abandoned_propagations = 0
+        self.folded_propagations = 0
         # Fault-injection hooks (ChaosMonkey.crash_during_propagation):
         # consulted once per consumed record (or per inline driver),
         # after the scheduling delay but before Algorithm 2 runs; a hook
@@ -126,13 +128,19 @@ class ViewManager:
                     self.env.process(
                         self._consume_outbox(outbox),
                         name=f"outbox-consumer:{node.node_id}:{index}")
+        # Skew-adaptive maintenance + hot-view cache (repro.views.skew);
+        # inert (no processes, no cache) unless configured on.
+        self.skew = SkewService(self)
+        if self.skew.cache.enabled:
+            self.maintainer.on_view_write = self.skew.cache.invalidate
 
     @property
     def pending_propagations(self) -> int:
-        """Propagations accepted but not yet resolved (queued or
-        in-flight), across both pipelines."""
-        return self._inline_pending + sum(
-            outbox.depth for outbox in self._outboxes.values())
+        """Propagations accepted but not yet resolved (queued, in-flight,
+        or folded into an unflushed delta), across both pipelines."""
+        return (self._inline_pending
+                + sum(outbox.depth for outbox in self._outboxes.values())
+                + self.skew.pending_chains())
 
     # -- registry -----------------------------------------------------------
 
@@ -372,6 +380,19 @@ class ViewManager:
             for collector, extract in record.sources:
                 responses = yield collector.settled
                 gathered.append((responses, extract))
+            # Heavy/light fork (repro.views.skew): records for heavy
+            # chains fold into a per-chain delta — no scheduling delay,
+            # no locks, no chain walk — and resolve immediately, so the
+            # backpressure token returns at once.  The fold invalidates
+            # the hot-view cache for every key the record could move
+            # before resolving, keeping session barriers honest.
+            if self.skew.should_fold(outbox.node_id, view, key):
+                self.skew.fold(outbox.node_id, record, gathered)
+                self.folded_propagations += 1
+                self.cluster.trace("propagation", "folded into skew delta",
+                                   view=view.name, key=key, ts=base_ts)
+                record.resolve()
+                return
             # Scheduling delay: maintenance work queues behind other
             # maintenance work.
             yield self.env.timeout(
@@ -424,16 +445,30 @@ class ViewManager:
         """Unresolved outbox records, optionally for one view only.
 
         The scrubber consults this to defer digest comparison while
-        propagation is merely behind (backlog, not divergence)."""
+        propagation is merely behind (backlog, not divergence) — folded
+        deltas awaiting a flush count as backlog too: lazy maintenance
+        is lag, never divergence."""
         if view_name is None:
-            return sum(outbox.depth for outbox in self._outboxes.values())
-        return sum(outbox.pending_for(view_name)
-                   for outbox in self._outboxes.values())
+            return (sum(outbox.depth for outbox in self._outboxes.values())
+                    + self.skew.pending_chains())
+        return (sum(outbox.pending_for(view_name)
+                    for outbox in self._outboxes.values())
+                + self.skew.pending_chains(view_name))
 
-    def outbox_stats(self) -> Dict[str, Any]:
-        """Queue depth / lag / coalescing counters across node outboxes."""
+    def outbox_stats(self, hot_key_count: int = 5) -> Dict[str, Any]:
+        """Queue depth / lag / coalescing counters across node outboxes.
+
+        ``hot_keys`` ranks the most-appended (view, base key) chains —
+        the producer-side ground truth for auditing the skew tracker's
+        heavy/light classification."""
         appended = sum(o.appended for o in self._outboxes.values())
         coalesced = sum(o.coalesced for o in self._outboxes.values())
+        hot: Dict[Tuple[str, Hashable], int] = {}
+        for o in self._outboxes.values():
+            for chain, count in o.chain_appends.items():
+                hot[chain] = hot.get(chain, 0) + count
+        ranked = sorted(hot.items(),
+                        key=lambda item: (-item[1], repr(item[0])))
         return {
             "appended": appended,
             "coalesced": coalesced,
@@ -442,6 +477,11 @@ class ViewManager:
             "max_depth": max(
                 (o.max_depth for o in self._outboxes.values()), default=0),
             "lag": sum(o.lag for o in self._outboxes.values()),
+            "folded": self.folded_propagations,
+            "hot_keys": [
+                {"view": chain[0], "key": chain[1], "appends": count}
+                for chain, count in ranked[:hot_key_count]
+            ],
             "per_node": {
                 node_id: {
                     "appended": o.appended,
@@ -454,6 +494,12 @@ class ViewManager:
                 for node_id, o in sorted(self._outboxes.items())
             },
         }
+
+    def skew_stats(self) -> Dict[str, Any]:
+        """Heavy/light maintenance and hot-view cache counters."""
+        stats = self.skew.stats()
+        stats["folded_propagations"] = self.folded_propagations
+        return stats
 
     # -- inline propagation driver (propagation_pipeline="inline") ---------------
 
@@ -656,9 +702,25 @@ class ViewManager:
                                    session=session.session_id,
                                    pending=pending)
             yield from self.sessions.barrier(session, view_name)
+        # Merge-on-read: lazy (heavy-key) deltas that could hide this
+        # view key's live rows must materialize before the read — the
+        # session barrier above only waited for records to *resolve*,
+        # which for a folded record happens at fold time.
+        yield from self.skew.flush_for_read(coordinator, view, view_key)
         yield from coordinator.node._use_cpu(self.config.service.coordinator)
+        cache = self.skew.cache
+        if cache.enabled:
+            cached = cache.lookup(view_name, view_key, columns, r)
+            if cached is not None:
+                return cached
+            token = cache.version(view_name, view_key)
         results = yield from view_read.view_get(
             self.env, coordinator, view, view_key, columns, r)
+        if cache.enabled:
+            # Read-through populate, guarded by the version token: a
+            # propagation that invalidated this key while our quorum
+            # read was in flight wins — the stale result is not stored.
+            cache.store(view_name, view_key, columns, r, token, results)
         return results
 
     # -- backfill (views defined over populated tables) --------------------------------

@@ -173,6 +173,9 @@ class NodeOutbox:
         self.depth = 0             # queued + in-flight records
         self.max_depth = 0
         self.view_depths: Dict[str, int] = {}
+        # Lifetime appends per (view, base key) chain: the producer-side
+        # hot-key ranking ``outbox_stats()`` reports for skew auditing.
+        self.chain_appends: Dict[Tuple[str, Hashable], int] = {}
 
     # -- producer side -----------------------------------------------------
 
@@ -192,6 +195,7 @@ class NodeOutbox:
                               completion)
         completion.add_callback(lambda _event: self._mark_resolved(record.seq))
         chain = record.chain_key
+        self.chain_appends[chain] = self.chain_appends.get(chain, 0) + 1
         target = self._pending_by_key.get(chain)
         if target is not None and record.supersedes(target):
             target.superseded = True

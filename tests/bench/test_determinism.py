@@ -70,7 +70,7 @@ def test_registry_has_at_least_four_topics():
     assert len(names) >= 4
     for required in ("kernel_events", "record_ops", "message_rpc",
                      "propagation_chain", "fig4_read", "fig6_write",
-                     "ext_repair_scrub"):
+                     "ext_repair_scrub", "ext_outburst", "ext_skew"):
         assert required in names
 
 

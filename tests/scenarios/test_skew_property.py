@@ -1,0 +1,73 @@
+"""Property test: adaptive heavy/light maintenance converges under fire.
+
+Hypothesis drives Zipf-skewed scenario workloads (the head key hammers
+one chain, exactly what promotes it to heavy) under ``BurstArrivals``
+(floored inter-arrival gaps pile updates into the fold path) stacked
+with ``CrashLoop`` (a crash-looping coordinator loses and re-drives
+propagations).  After the storm the runner's quiescence folds pending
+deltas, drains the outbox, and scrubs until base and view agree — then
+the standing invariant suite must hold: oracle agreement, outbox
+conservation (folded records accounted), session guarantees, and the
+skew-drained invariant (no pending delta survives quiescence).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    BurstArrivals,
+    CrashLoop,
+    Scenario,
+    ScenarioWorkload,
+    default_config,
+)
+from repro.workloads import ZipfianKeys
+
+pytestmark = pytest.mark.scenario
+
+ADAPTIVE = dict(
+    skew_adaptive=True,
+    skew_promote_threshold=2.0,
+    skew_demote_threshold=1.0,
+    skew_decay_half_life=800.0,
+    skew_fold_interval=10.0,
+    view_cache_capacity=32,
+)
+
+
+def run_storm(*, seed, theta, ops, population=12):
+    scenario = Scenario(
+        f"skew-property-{seed}",
+        config=default_config(seed=seed, pipeline="outbox", **ADAPTIVE),
+        workload=ScenarioWorkload(
+            ops=ops, key_chooser=ZipfianKeys(population, theta)),
+        adversaries=[BurstArrivals(), CrashLoop(victim=0)],
+    )
+    result = scenario.run()
+    assert result.ok, (result.name, result.violations[:5], result.stats)
+    return scenario, result
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    theta=st.sampled_from([0.8, 1.1, 1.4]),
+    ops=st.integers(min_value=40, max_value=70),
+)
+def test_adaptive_converges_to_oracle_under_burst_and_crashloop(
+        seed, theta, ops):
+    scenario, result = run_storm(seed=seed, theta=theta, ops=ops)
+    assert result.stats["acked_ops"] > 0
+    # Quiescence left nothing folded-but-unflushed behind.
+    assert scenario.cluster.view_manager.skew_stats()["pending_chains"] == 0
+
+
+def test_hot_storm_actually_folds():
+    """The property is not vacuous: a hot head promotes and folds."""
+    scenario, _result = run_storm(seed=5, theta=1.4, ops=90, population=6)
+    manager = scenario.cluster.view_manager
+    assert manager.folded_propagations > 0
+    assert manager.skew_stats()["promotions"] > 0
+    assert manager.skew_stats()["pending_chains"] == 0

@@ -172,10 +172,17 @@ def test_outbox_stats_shape():
     populate(cluster, 2)
     stats = cluster.view_manager.outbox_stats()
     assert set(stats) == {"appended", "coalesced", "coalesce_ratio",
-                          "depth", "max_depth", "lag", "per_node"}
+                          "depth", "max_depth", "lag", "folded",
+                          "hot_keys", "per_node"}
     assert set(stats["per_node"]) == {0, 1, 2, 3}
     assert stats["appended"] >= 2
     assert stats["depth"] == 0
+    assert stats["folded"] == 0
+    # Hot-key audit: every append is attributed to its (view, key) chain.
+    assert stats["hot_keys"]
+    assert sum(entry["appends"] for entry in stats["hot_keys"]) <= \
+        stats["appended"]
+    assert all(entry["view"] == VIEW.name for entry in stats["hot_keys"])
     per_node = stats["per_node"][0]
     assert set(per_node) == {"appended", "coalesced", "depth", "max_depth",
                              "low_watermark", "lag"}

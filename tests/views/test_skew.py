@@ -1,0 +1,319 @@
+"""Heavy/light adaptive maintenance: tracker, cache, fold/flush, RYW.
+
+Unit tests for the pure pieces (decayed counters with hysteresis, the
+versioned LRU cache) plus full-stack tests of the fold-and-flush path:
+a hammered key promotes, its records fold into a delta, the fold tick
+flushes via the repair path, and the view converges to exactly the
+eager outcome — while session read-your-writes holds through
+merge-on-read.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.repair import divergent_base_keys
+from repro.views import (
+    HotViewCache,
+    UpdateFrequencyTracker,
+    ViewDefinition,
+    check_view,
+    live_entries,
+)
+
+from tests.views.conftest import make_config
+
+VIEW = ViewDefinition("V", "T", "vk", ("m",))
+
+ADAPTIVE = dict(
+    skew_adaptive=True,
+    skew_promote_threshold=3.0,
+    skew_demote_threshold=1.5,
+    skew_decay_half_life=400.0,
+    skew_fold_interval=10.0,
+)
+
+
+def build(**overrides):
+    cluster = Cluster(make_config(**overrides))
+    cluster.create_table("T")
+    cluster.create_view(VIEW)
+    return cluster
+
+
+def drive(cluster, puts, *, coordinator_id=1, w=2):
+    def workload():
+        client = cluster.client(coordinator_id=coordinator_id)
+        for key, values, ts in puts:
+            yield from client.put("T", key, values, w, ts)
+    process = cluster.env.process(workload())
+    cluster.env.run(until=process)
+    cluster.run_until_idle()
+
+
+# -- UpdateFrequencyTracker ---------------------------------------------------
+
+
+def test_tracker_promotes_at_threshold():
+    tracker = UpdateFrequencyTracker(3.0, 1.0, half_life=100.0)
+    chain = ("V", 0)
+    assert tracker.observe(chain, 0.0) == 1.0
+    assert not tracker.is_heavy(chain, 0.0)
+    tracker.observe(chain, 0.0)
+    tracker.observe(chain, 0.0)  # decayed count hits 3.0
+    assert tracker.is_heavy(chain, 0.0)
+    assert tracker.promotions == 1
+    assert tracker.heavy_count == 1
+
+
+def test_tracker_hysteresis_band():
+    """Between demote and promote thresholds the classification sticks."""
+    tracker = UpdateFrequencyTracker(4.0, 2.0, half_life=100.0)
+    chain = ("V", 0)
+    for _ in range(4):
+        tracker.observe(chain, 0.0)
+    assert tracker.is_heavy(chain, 0.0)
+    # One half-life halves the count to 2.0 — inside the band: still
+    # heavy.  A cold chain at 2.0 would not have been promoted.
+    assert tracker.is_heavy(chain, 100.0)
+    other = ("V", 1)
+    tracker.observe(other, 100.0)
+    tracker.observe(other, 100.0)
+    assert not tracker.is_heavy(other, 100.0)
+    # Two more half-lives decay below 2.0: demoted.
+    assert not tracker.is_heavy(chain, 300.0)
+    assert tracker.demotions == 1
+    assert tracker.heavy_count == 0
+
+
+def test_tracker_decay_is_half_life_exact():
+    tracker = UpdateFrequencyTracker(100.0, 1.0, half_life=50.0)
+    chain = ("V", "k")
+    tracker.observe(chain, 0.0)
+    assert tracker.observe(chain, 50.0) == pytest.approx(1.5)
+    assert tracker.observe(chain, 100.0) == pytest.approx(1.75)
+
+
+def test_tracker_hottest_ranks_by_decayed_count():
+    tracker = UpdateFrequencyTracker(100.0, 1.0, half_life=50.0)
+    for _ in range(4):
+        tracker.observe(("V", "hot"), 0.0)
+    tracker.observe(("V", "warm"), 0.0)
+    tracker.observe(("V", "warm"), 0.0)
+    tracker.observe(("V", "cold"), 0.0)
+    top = tracker.hottest(2, 0.0)
+    assert [(v, k) for v, k, _count in top] == [("V", "hot"), ("V", "warm")]
+    assert top[0][2] == pytest.approx(4.0)
+
+
+def test_tracker_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        UpdateFrequencyTracker(1.0, 2.0, half_life=10.0)
+    with pytest.raises(ValueError):
+        UpdateFrequencyTracker(2.0, 1.0, half_life=0.0)
+
+
+# -- HotViewCache -------------------------------------------------------------
+
+
+def test_cache_hit_miss_and_lru_eviction():
+    cache = HotViewCache(2)
+    assert cache.lookup("V", "a", ("m",), 2) is None
+    cache.store("V", "a", ("m",), 2, cache.version("V", "a"), ["row-a"])
+    cache.store("V", "b", ("m",), 2, cache.version("V", "b"), ["row-b"])
+    assert cache.lookup("V", "a", ("m",), 2) == ["row-a"]  # refreshes LRU
+    cache.store("V", "c", ("m",), 2, cache.version("V", "c"), ["row-c"])
+    # "b" was least-recently-used: evicted, "a" survives.
+    assert cache.lookup("V", "b", ("m",), 2) is None
+    assert cache.lookup("V", "a", ("m",), 2) == ["row-a"]
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["entries"] == 2
+    assert stats["hits"] == 2 and stats["misses"] == 2
+
+
+def test_cache_invalidation_drops_all_variants():
+    cache = HotViewCache(8)
+    cache.store("V", "a", ("m",), 1, cache.version("V", "a"), ["r1"])
+    cache.store("V", "a", ("m", "n"), 2, cache.version("V", "a"), ["r2"])
+    cache.store("V", "b", ("m",), 1, cache.version("V", "b"), ["r3"])
+    cache.invalidate("V", "a")
+    assert cache.lookup("V", "a", ("m",), 1) is None
+    assert cache.lookup("V", "a", ("m", "n"), 2) is None
+    assert cache.lookup("V", "b", ("m",), 1) == ["r3"]
+    assert cache.stats()["invalidations"] == 1
+
+
+def test_cache_version_guard_blocks_stale_store():
+    """A read that began before an invalidation cannot populate after."""
+    cache = HotViewCache(8)
+    token = cache.version("V", "a")
+    cache.invalidate("V", "a")  # concurrent write lands mid-read
+    assert not cache.store("V", "a", ("m",), 2, token, ["stale"])
+    assert cache.lookup("V", "a", ("m",), 2) is None
+    # With the post-invalidation token the store goes through.
+    assert cache.store("V", "a", ("m",), 2, cache.version("V", "a"),
+                       ["fresh"])
+    assert cache.lookup("V", "a", ("m",), 2) == ["fresh"]
+
+
+def test_cache_clear_keeps_version_guard():
+    cache = HotViewCache(8)
+    cache.store("V", "a", ("m",), 2, cache.version("V", "a"), ["r"])
+    token = cache.version("V", "a")
+    cache.clear()
+    assert len(cache) == 0
+    assert not cache.store("V", "a", ("m",), 2, token, ["stale"])
+
+
+def test_cache_capacity_zero_is_disabled():
+    cache = HotViewCache(0)
+    assert not cache.enabled
+    assert not cache.store("V", "a", ("m",), 2, 0, ["r"])
+    assert cache.lookup("V", "a", ("m",), 2) is None
+    assert cache.stats()["misses"] == 0  # disabled lookups do not count
+
+
+# -- config validation --------------------------------------------------------
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(skew_promote_threshold=0.0),
+    dict(skew_demote_threshold=0.0),
+    dict(skew_promote_threshold=2.0, skew_demote_threshold=3.0),
+    dict(skew_decay_half_life=0.0),
+    dict(skew_fold_interval=0.0),
+    dict(skew_flush_max_attempts=0),
+    dict(view_cache_capacity=-1),
+])
+def test_config_rejects_bad_skew_knobs(overrides):
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=4, replication_factor=3, **overrides)
+
+
+# -- fold + flush through the full stack -------------------------------------
+
+
+def test_hot_chain_folds_and_flushes_to_eager_state():
+    """A hammered key promotes, folds, and the fold tick converges the
+    view to exactly the last write — zero divergence, full accounting."""
+    cluster = build(**ADAPTIVE)
+    puts = [(0, {"vk": f"g{i % 3}", "m": f"v{i}"}, 100 + i)
+            for i in range(30)]
+    puts += [(k, {"vk": "cold", "m": f"c{k}"}, 1000 + k)
+             for k in range(1, 4)]
+    drive(cluster, puts)
+
+    manager = cluster.view_manager
+    stats = manager.skew_stats()
+    assert manager.folded_propagations > 0
+    assert stats["promotions"] >= 1
+    assert stats["flushed_records"] + stats["dropped_records"] == \
+        stats["folded_records"]
+    assert stats["dropped_records"] == 0
+    assert stats["pending_chains"] == 0
+    assert divergent_base_keys(cluster, VIEW) == []
+    assert check_view(cluster, VIEW) == []
+    live = live_entries(cluster, VIEW)
+    assert list(live[0]) == ["g2"]  # i=29 -> g2
+    assert live[0]["g2"].cells["m"].value == "v29"
+    # Cold keys stayed on the eager path.
+    assert list(live[1]) == ["cold"]
+
+
+def test_fold_skips_intermediate_stale_rows():
+    """Folded view-key transitions never materialize intermediate rows:
+    the flush re-propagates only the current base state."""
+    from repro.views import collect_entries
+
+    cluster = build(**ADAPTIVE)
+    drive(cluster, [(0, {"vk": f"t{i}", "m": f"v{i}"}, 100 + i)
+                    for i in range(12)])
+    manager = cluster.view_manager
+    assert manager.folded_propagations > 0
+    entries = collect_entries(cluster, VIEW)[0]
+    # Eager would have written all 12 destinations; folding skipped the
+    # transitions that were superseded before their flush.
+    assert "t11" in entries
+    assert len(entries) < 12
+    assert check_view(cluster, VIEW) == []
+
+
+def test_read_your_writes_through_fold():
+    """A session view read right after a folded Put must observe it:
+    the barrier releases at fold time and merge-on-read forces the
+    flush before the read looks at the view row."""
+    cluster = build(**ADAPTIVE, view_cache_capacity=16)
+    # Promote the chain first so the session Put itself folds.
+    drive(cluster, [(0, {"vk": f"g{i % 2}", "m": f"w{i}"}, 100 + i)
+                    for i in range(10)])
+    manager = cluster.view_manager
+    assert manager.folded_propagations > 0
+
+    client = cluster.sync_client(coordinator_id=1)
+    client.begin_session()
+    client.put("T", 0, {"vk": "mine", "m": "session-write"}, w=2,
+               timestamp=5000)
+    # No settle: the read runs while the delta may still be pending.
+    results = client.get_view("V", "mine", ("m",), r=2)
+    client.end_session()
+    rows = {res.base_key: res.values["m"][0] for res in results}
+    assert rows == {0: "session-write"}
+    assert manager.skew.read_barrier_flushes >= 0  # surface exists
+    cluster.run_until_idle()
+    assert divergent_base_keys(cluster, VIEW) == []
+
+
+def test_view_cache_serves_repeat_reads_and_invalidates_on_write():
+    cluster = build(**ADAPTIVE, view_cache_capacity=16)
+    drive(cluster, [(0, {"vk": "a", "m": "v0"}, 100)])
+    client = cluster.sync_client(coordinator_id=1)
+    assert [r.values["m"][0] for r in client.get_view("V", "a", ("m",), r=2)
+            ] == ["v0"]
+    assert [r.values["m"][0] for r in client.get_view("V", "a", ("m",), r=2)
+            ] == ["v0"]
+    cache = cluster.view_manager.skew.cache
+    assert cache.stats()["hits"] == 1
+    # A write through the propagation stream invalidates the entry and
+    # the next read sees the new value.
+    client.put("T", 0, {"m": "v1"}, w=2, timestamp=200)
+    client.settle()
+    assert cache.stats()["invalidations"] >= 1
+    assert [r.values["m"][0] for r in client.get_view("V", "a", ("m",), r=2)
+            ] == ["v1"]
+
+
+def test_disabled_service_is_inert():
+    """Default config: no folding, no fold-tick process, no cache."""
+    cluster = build()
+    skew = cluster.view_manager.skew
+    assert not skew.enabled
+    assert not skew.cache.enabled
+    drive(cluster, [(0, {"vk": f"g{i}", "m": f"v{i}"}, 100 + i)
+                    for i in range(10)])
+    assert cluster.view_manager.folded_propagations == 0
+    assert skew.stats()["folded_records"] == 0
+    assert check_view(cluster, VIEW) == []
+
+
+def test_skew_stats_shape():
+    cluster = build(**ADAPTIVE, view_cache_capacity=8)
+    stats = cluster.view_manager.skew_stats()
+    expected = {"enabled", "folded_records", "flushed_records",
+                "dropped_records", "flushed_chains", "dropped_chains",
+                "flush_failures", "pending_chains", "heavy_keys",
+                "promotions", "demotions", "read_barrier_flushes",
+                "tick_flushes", "cache", "folded_propagations"}
+    assert set(stats) == expected
+    assert stats["enabled"] is True
+    assert set(stats["cache"]) == {"hits", "misses", "invalidations",
+                                   "evictions", "entries"}
+
+
+def test_hottest_merges_per_node_trackers():
+    cluster = build(**ADAPTIVE)
+    drive(cluster, [(0, {"vk": f"g{i % 2}"}, 100 + i) for i in range(8)],
+          coordinator_id=1)
+    drive(cluster, [(0, {"vk": f"h{i % 2}"}, 200 + i) for i in range(4)],
+          coordinator_id=2)
+    top = cluster.view_manager.skew.hottest(3)
+    assert top and top[0][:2] == ("V", 0)

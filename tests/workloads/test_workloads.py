@@ -71,6 +71,40 @@ def test_zipfian_parameter_validation():
         ZipfianKeys(10, theta=0.0)
 
 
+@pytest.mark.parametrize("theta", [0.6, 0.99, 1.4])
+def test_zipfian_head_mass_matches_theory(theta):
+    """Empirical head-key frequency tracks its theoretical Zipf mass.
+
+    The rank-0 key's probability is 1/H(n, theta) where H is the
+    generalized harmonic number the generator normalizes by.  Across
+    independent seeds the empirical frequency must land within 25%
+    relative error of theory — loose enough for 4000-sample noise,
+    tight enough to catch an off-by-one in the rank exponent (rank 1
+    mass differs from rank 0 by 2**theta).
+    """
+    count, draws = 200, 4_000
+    harmonic = sum(1.0 / (rank + 1) ** theta for rank in range(count))
+    expected = 1.0 / harmonic
+    for seed in (1, 7, 23):
+        seeded = random.Random(seed)
+        chooser = ZipfianKeys(count, theta=theta)
+        hits = sum(chooser.choose(seeded) == 0 for _ in range(draws))
+        empirical = hits / draws
+        assert empirical == pytest.approx(expected, rel=0.25), (
+            theta, seed, empirical, expected)
+
+
+def test_zipfian_rank_frequencies_are_monotone():
+    """Lower ranks must not be systematically colder than higher ones."""
+    chooser = ZipfianKeys(50, theta=1.2)
+    seeded = random.Random(11)
+    counts = [0] * 50
+    for _ in range(6_000):
+        counts[chooser.choose(seeded)] += 1
+    # Compare well-separated ranks so sampling noise cannot reorder them.
+    assert counts[0] > counts[4] > counts[20]
+
+
 def test_fixed_key(rng):
     chooser = FixedKey("hot")
     assert chooser.choose(rng) == "hot"
