@@ -15,7 +15,10 @@ sizes:
   (extension E3): bounded queue depth, coalescing, full drain;
 - ``ext_skew`` — eager versus adaptive heavy/light view maintenance
   under Zipf skew (extension E5): near-parity at low skew, >= 2x for
-  adaptive at high skew, zero residual divergence after quiescence.
+  adaptive at high skew, zero residual divergence after quiescence;
+- ``ext_staleness`` — bounded-staleness view reads under crash-lossy
+  propagation (extension E6): escalation rate rising monotonically as
+  the bound tightens, zero oracle-audit violations.
 
 ``simulated_ops`` counts completed client operations (or, for the
 scrubber, rows scanned) — dividing by wall seconds gives the headline
@@ -337,10 +340,77 @@ def ext_skew(params: BenchParams) -> TopicResult:
     )
 
 
+def ext_staleness(params: BenchParams) -> TopicResult:
+    """Bounded-staleness view reads under lossy propagation (extension E6).
+
+    Runs the extension E6 workload (``repro.experiments.ext_staleness``)
+    at benchmark sizes: one unbounded cell plus a loose-to-tight bound
+    sweep over the same open-loop write/crash/scrub timeline.  The
+    metrics carry the acceptance gates: ``escalation_monotone`` must be
+    1 (the escalation rate rises as the bound tightens),
+    ``audit_violations`` must be 0 in every cell (each bounded read
+    replayed against the acknowledged-update oracle), and the unbounded
+    cell's mean latency must stay within noise of a certificate-free
+    view read.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.calibration import ExperimentParams
+    from repro.experiments.ext_staleness import run_staleness_point
+
+    bounds = (None, 80.0, 30.0, 10.0)
+    exp = replace(
+        ExperimentParams(seed=params.seed),
+        staleness_rows=params.scaled(32, 96),
+        staleness_updates=params.scaled(30, 90),
+        staleness_crashes=params.scaled(4, 8),
+        staleness_reads=params.scaled(40, 120),
+        staleness_bounds=bounds,
+    )
+    cells = {}
+    total_reads = 0
+    total_sim_ms = 0.0
+    for bound in bounds:
+        cell = run_staleness_point(exp, bound)
+        cells[bound] = cell
+        total_reads += cell["reads"]
+        total_sim_ms += cell["simulated_ms"]
+
+    rates = [cells[b]["escalation_rate"] for b in bounds if b is not None]
+    monotone = all(a <= b for a, b in zip(rates, rates[1:]))
+    return TopicResult(
+        simulated_ops=total_reads,
+        params={"rows": exp.staleness_rows,
+                "updates": exp.staleness_updates,
+                "crashes": exp.staleness_crashes,
+                "reads_per_cell": exp.staleness_reads,
+                "bounds": ["none" if b is None else b for b in bounds]},
+        simulated_duration_ms=total_sim_ms,
+        metrics={
+            "escalation_rates": rates,
+            "escalation_monotone": int(monotone),
+            "escalations_tightest": cells[bounds[-1]]["escalations"],
+            "compensated_keys_tightest":
+                cells[bounds[-1]]["compensated_keys"],
+            "unbounded_mean_latency_ms":
+                round(cells[None]["mean_latency_ms"], 6),
+            "tightest_mean_latency_ms":
+                round(cells[bounds[-1]]["mean_latency_ms"], 6),
+            "wounds_opened": cells[bounds[-1]]["wounds_opened"],
+            "wounds_healed": cells[bounds[-1]]["wounds_healed"],
+            "read_failures": sum(c["read_failures"]
+                                 for c in cells.values()),
+            "audit_violations": sum(c["audit_violations"]
+                                    for c in cells.values()),
+        },
+    )
+
+
 TOPICS = {
     "fig4_read": fig4_read,
     "fig6_write": fig6_write,
     "ext_repair_scrub": ext_repair_scrub,
     "ext_outburst": ext_outburst,
     "ext_skew": ext_skew,
+    "ext_staleness": ext_staleness,
 }

@@ -172,6 +172,32 @@ class ClientHandle:
         yield self._hop()
         return results
 
+    def get_view_fresh(self, view_name: str, view_key: Any,
+                       columns: Iterable[ColumnName], r: int = 1,
+                       max_staleness_ms: Optional[float] = None):
+        """Bounded-staleness view read with a staleness certificate.
+
+        Like :meth:`get_view`, but returns a
+        :class:`~repro.freshness.read.FreshViewRead` whose certificate
+        states how far behind the base table the served rows can be.
+        With ``max_staleness_ms`` set, the read either serves from the
+        view (certificate within bound) or escalates to a compensation
+        read that merges fresh base-table state over the lagging keys.
+        ``None`` means no bound: serve from the view, certificate
+        attached.
+        """
+        columns = tuple(columns)
+        manager = self.cluster.view_manager
+        if manager is None:
+            raise SessionError(f"no views defined (wanted {view_name!r})")
+        yield self._hop()
+        coordinator = self._coordinator()
+        fresh = yield from manager.view_get_fresh(
+            coordinator, view_name, view_key, columns, r,
+            max_staleness_ms=max_staleness_ms, session=self.session)
+        yield self._hop()
+        return fresh
+
 
 class SyncClient:
     """Blocking façade: each call runs the simulation to completion.
@@ -207,6 +233,14 @@ class SyncClient:
         """Blocking view read; see :meth:`ClientHandle.get_view`."""
         return self._drive(self.handle.get_view(view_name, view_key,
                                                 columns, r))
+
+    def get_view_fresh(self, view_name, view_key, columns, r: int = 1,
+                       max_staleness_ms: Optional[float] = None):
+        """Blocking bounded-staleness view read; see
+        :meth:`ClientHandle.get_view_fresh`."""
+        return self._drive(self.handle.get_view_fresh(
+            view_name, view_key, columns, r,
+            max_staleness_ms=max_staleness_ms))
 
     def get_join(self, join_name, join_key, left_columns, right_columns,
                  r: int = 1):

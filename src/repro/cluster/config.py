@@ -134,6 +134,15 @@ class ClusterConfig:
     propagation_retry_backoff: float = 0.5
     propagation_retry_backoff_cap: float = 8.0
     propagation_max_rounds: int = 200
+    # End-to-end deadline for one propagation, measured from the moment
+    # the update entered the pipeline (outbox append / driver spawn).
+    # 0 disables.  A propagation still retrying past the deadline is
+    # abandoned with PropagationDeadlineError — the mitigation for the
+    # cross-coordinator guess-retry livelock on hot chains: a wedged
+    # record stops holding its backpressure token for the full round
+    # budget, the chain is recorded as a freshness wound, and the
+    # scrubber heals the row.  The first attempt always runs.
+    propagation_deadline_ms: float = 0.0
 
     # Skew-adaptive maintenance (repro.views.skew).  When enabled (and
     # the pipeline is "outbox"), per-node decayed update counters
@@ -168,6 +177,13 @@ class ClusterConfig:
     scrub_range_depth: int = 4
     scrub_rate_limit: float = 0.1
     scrub_degraded_backoff: float = 4.0
+
+    # Freshness subsystem (repro.freshness).  A bounded-staleness read
+    # that escalates compensates at most this many lagging base keys per
+    # read; 0 means unlimited.  When the cap truncates the key set the
+    # read cannot claim its bound (certificate ``bound_met`` False) —
+    # it compensates the oldest keys first and reports the residual.
+    freshness_compensation_limit: int = 0
 
     # Root seed for all RNG streams.
     seed: int = 0
@@ -209,6 +225,11 @@ class ClusterConfig:
                 "propagation_retry_backoff")
         if self.propagation_max_rounds < 1:
             raise ValueError("propagation_max_rounds must be >= 1")
+        if self.propagation_deadline_ms < 0:
+            raise ValueError("propagation_deadline_ms must be non-negative")
+        if self.freshness_compensation_limit < 0:
+            raise ValueError(
+                "freshness_compensation_limit must be non-negative")
         if self.skew_promote_threshold <= 0:
             raise ValueError("skew_promote_threshold must be positive")
         if not 0 < self.skew_demote_threshold <= self.skew_promote_threshold:

@@ -58,6 +58,21 @@ class ClusterSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    # Freshness subsystem (repro.freshness): bounded-read traffic,
+    # escalations/compensation, and open staleness wounds.
+    freshness_reads_bounded: int = 0
+    freshness_bound_hits: int = 0
+    freshness_escalations: int = 0
+    freshness_bound_misses: int = 0
+    freshness_compensated_keys: int = 0
+    freshness_open_wounds: int = 0
+    freshness_wounds_opened: int = 0
+    freshness_wounds_healed: int = 0
+    # View read-path health: Init-marker spin retries and timeouts, and
+    # propagations abandoned by the deadline knob.
+    view_init_spins: int = 0
+    view_init_timeouts: int = 0
+    deadline_abandoned_propagations: int = 0
 
     @staticmethod
     def capture(cluster) -> "ClusterSnapshot":
@@ -68,6 +83,8 @@ class ClusterSnapshot:
         locks = manager.locks if manager else None
         skew = manager.skew_stats() if manager else {}
         cache = skew.get("cache", {})
+        freshness = manager.freshness_stats() if manager else {}
+        slo = freshness.get("slo", {})
         return ClusterSnapshot(
             at=cluster.env.now,
             nodes=[NodeSnapshot(node.node_id, node.busy_time,
@@ -99,6 +116,18 @@ class ClusterSnapshot:
             cache_hits=cache.get("hits", 0),
             cache_misses=cache.get("misses", 0),
             cache_invalidations=cache.get("invalidations", 0),
+            freshness_reads_bounded=slo.get("reads_bounded", 0),
+            freshness_bound_hits=slo.get("bound_hits", 0),
+            freshness_escalations=slo.get("escalations", 0),
+            freshness_bound_misses=slo.get("bound_misses", 0),
+            freshness_compensated_keys=slo.get("compensated_keys", 0),
+            freshness_open_wounds=freshness.get("open_wounds", 0),
+            freshness_wounds_opened=freshness.get("wounds_opened", 0),
+            freshness_wounds_healed=freshness.get("wounds_healed", 0),
+            view_init_spins=freshness.get("init_spins", 0),
+            view_init_timeouts=freshness.get("init_timeouts", 0),
+            deadline_abandoned_propagations=freshness.get(
+                "deadline_abandoned", 0),
         )
 
 

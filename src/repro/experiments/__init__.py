@@ -7,6 +7,7 @@ from repro.experiments import (
     ext_outburst,
     ext_repair,
     ext_skew,
+    ext_staleness,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -38,4 +39,5 @@ __all__ = [
     "ext_repair",
     "ext_outburst",
     "ext_skew",
+    "ext_staleness",
 ]

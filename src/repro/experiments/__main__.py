@@ -24,6 +24,7 @@ from repro.experiments import (
     ext_outburst,
     ext_repair,
     ext_skew,
+    ext_staleness,
     fig3_read_latency,
     fig4_read_throughput,
     fig5_write_latency,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "ext_outburst": lambda p: ext_outburst.run(p),
     "ext_adversary": lambda p: ext_adversary.run(p),
     "ext_skew": lambda p: ext_skew.run(p),
+    "ext_staleness": lambda p: ext_staleness.run(p),
 }
 
 

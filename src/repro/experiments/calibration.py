@@ -29,7 +29,7 @@ tail reaching ~600 ms; all other figures keep the default sub-ms delay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.cluster import ClusterConfig
 from repro.sim.latency import LogNormal
@@ -94,6 +94,18 @@ class ExperimentParams:
     zipf_clients: int = 10
     zipf_duration: float = 1_200.0
 
+    # Extension E6 (ext_staleness): bounded-staleness view reads.  Rows
+    # in the grouped table, workload updates, propagations
+    # deterministically lost to coordinator crashes, bounded reads per
+    # cell, and the swept staleness bounds (``None`` = unbounded cell,
+    # then loosest to tightest in sim-ms).
+    staleness_rows: int = 96
+    staleness_updates: int = 90
+    staleness_crashes: int = 8
+    staleness_reads: int = 120
+    staleness_bounds: Tuple[Optional[float], ...] = (
+        None, 200.0, 80.0, 30.0, 10.0, 3.0)
+
     def quick(self) -> "ExperimentParams":
         """A much smaller variant for tests of the experiment harness."""
         return ExperimentParams(
@@ -121,6 +133,11 @@ class ExperimentParams:
             zipf_thetas=(0.6, 1.2),
             zipf_clients=4,
             zipf_duration=300.0,
+            staleness_rows=32,
+            staleness_updates=30,
+            staleness_crashes=4,
+            staleness_reads=40,
+            staleness_bounds=(None, 80.0, 10.0),
             seed=self.seed,
         )
 

@@ -1,0 +1,338 @@
+"""Staleness certificates: how far behind the base table a view is.
+
+The view pipeline already knows, at every instant, exactly which
+acknowledged base updates have not yet taken effect in a view:
+
+- **outbox lag** — appended-but-unresolved :class:`OutboxRecord`\\ s
+  (including riders of coalesced winners), each stamped with its append
+  time;
+- **fold backlog** — per-chain :class:`PendingDelta`\\ s parked by the
+  skew-adaptive maintainer, stamped with the append time of the oldest
+  folded record;
+- **inline pending** — driver processes of the ``inline`` pipeline,
+  registered at Put time;
+- **wounds** — chains whose propagation *failed* (coordinator crash,
+  retry/deadline abandonment, exhausted fold flush, confirmed scrub
+  divergence, cross-coordinator misordering).  A wound has no resolve
+  event; it stays open until the row is re-propagated or a quorum-level
+  ``verify_row`` confirms the row clean.
+
+The :class:`FreshnessTracker` folds all four into a per-view
+:class:`StalenessCertificate`: the age of the *oldest* outstanding
+source, plus the provenance of that binding source.  The certificate is
+conservative — every update invisible to a quorum view read is covered
+by some open source, so a read observing staleness ``s`` at time ``t``
+reflects at least every update acknowledged before ``t - s``.
+
+The tracker is introspective metadata (one per :class:`ViewManager`,
+global across nodes), in the same spirit as the repair detector's
+introspective oracle: a production system would assemble the same facts
+from per-node watermark gossip and the scrubber's divergence log.  See
+``DESIGN.md`` for the idealization argument.
+
+Wound clearing is deliberately *not* tied to the scrubber's digest
+rounds: the digests compare an all-replica merge, while reads see only
+a majority quorum, so a partially-written row can look digest-clean yet
+be quorum-invisible.  Wounds therefore clear only through quorum-level
+evidence — a successful re-propagation, or a per-key ``verify_row``
+that started after the wound was opened, and never while another
+propagation is mid-flight on the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["FreshnessTracker", "StaleSource", "StalenessCertificate",
+           "Wound"]
+
+
+@dataclass(frozen=True)
+class StaleSource:
+    """One outstanding reason a view lags: a key, since when, and why."""
+
+    key: Hashable
+    origin: float       # simulated time the lag began (update append/ack)
+    provenance: str     # "outbox-lag" | "fold-backlog" | "inline-pending"
+                        # | a wound provenance
+
+
+@dataclass(frozen=True)
+class StalenessCertificate:
+    """A view's staleness bound at one instant, with provenance.
+
+    ``staleness_ms`` is the age of the oldest outstanding source at
+    ``as_of``; 0.0 with provenance ``"fresh"`` when nothing is pending.
+    For bounded reads ``bound_ms`` records the requested bound and
+    ``bound_met`` whether the read honored it (after compensation, if
+    any); ``compensated`` marks certificates rewritten by an escalated
+    read.
+    """
+
+    view_name: str
+    as_of: float
+    staleness_ms: float
+    provenance: str
+    open_sources: int
+    bound_ms: Optional[float] = None
+    bound_met: Optional[bool] = None
+    compensated: bool = False
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.open_sources == 0
+
+    def within(self, bound_ms: float) -> bool:
+        """Does this certificate already satisfy ``bound_ms``?"""
+        return self.staleness_ms <= bound_ms
+
+
+class Wound:
+    """An open chain whose propagation failed; cleared only by repair
+    or a post-wound quorum verification."""
+
+    __slots__ = ("origin", "created", "provenance")
+
+    def __init__(self, origin: float, created: float, provenance: str):
+        self.origin = origin        # when the lost update entered the pipeline
+        self.created = created      # when the failure was observed
+        self.provenance = provenance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Wound {self.provenance} origin={self.origin:.3f} "
+                f"created={self.created:.3f}>")
+
+
+ChainKey = Tuple[str, Hashable]
+
+
+class FreshnessTracker:
+    """Per-view staleness bookkeeping for one :class:`ViewManager`."""
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.env = manager.env
+        self._wounds: Dict[ChainKey, Wound] = {}
+        # Inline-pipeline propagations: token -> (view, key, origin).
+        self._inline: Dict[int, Tuple[str, Hashable, float]] = {}
+        self._inline_token = 0
+        # Eager-execution ordering state per chain.  ``_eager_inflight``
+        # holds the origins of propagations currently executing;
+        # ``_last_eager`` the (base_ts, executor, origin) of the newest
+        # successfully executed one.  Two concurrent executors, or an
+        # older-timestamped record executing after a newer one landed
+        # from a *different* executor, can strand a stale live row that
+        # per-node chain FIFOs cannot order away — both wound the chain.
+        self._eager_inflight: Dict[ChainKey, List[float]] = {}
+        self._last_eager: Dict[ChainKey, Tuple[int, Any, float]] = {}
+        # Observability.
+        self.wounds_opened = 0
+        self.wounds_healed = 0
+        self.overlap_wounds = 0
+
+    # -- wounds ------------------------------------------------------------
+
+    def note_wound(self, view_name: str, key: Hashable, origin: float,
+                   provenance: str) -> None:
+        """Open (or widen) a wound: updates from ``origin`` on may be
+        missing from the view's quorum-read state for ``key``."""
+        chain = (view_name, key)
+        existing = self._wounds.get(chain)
+        if existing is None:
+            self._wounds[chain] = Wound(origin, self.env.now, provenance)
+            self.wounds_opened += 1
+            return
+        if origin < existing.origin:
+            existing.origin = origin
+            existing.provenance = provenance
+        # New failure evidence: only verifications starting after *this*
+        # observation may clear the wound.
+        existing.created = self.env.now
+
+    def note_divergence(self, divergence, detected_at: float) -> None:
+        """A scrub ``verify_row`` confirmed a divergence: wound the chain
+        (origin = detection time; the true origin is unknown, and the
+        scrubber repairs the row in the same round)."""
+        self.note_wound(divergence.view_name, divergence.base_key,
+                        detected_at, f"scrub-{divergence.kind}")
+
+    def note_repaired(self, view_name: str, key: Hashable,
+                      base_ts: Optional[int] = None) -> None:
+        """A re-propagation of the row's *current* base state committed
+        at quorum: the chain's wound (if any) is healed — unless another
+        propagation is still mid-flight and may land stale state after
+        this repair."""
+        chain = (view_name, key)
+        if chain in self._eager_inflight:
+            return
+        if self._wounds.pop(chain, None) is not None:
+            self.wounds_healed += 1
+
+    def note_verified_clean(self, view_name: str, key: Hashable,
+                            verified_since: float) -> None:
+        """A quorum-level ``verify_row`` started at ``verified_since``
+        found the row clean: wounds observed before the verification
+        began are healed.  Concurrent in-flight propagations veto the
+        clear (they may still land stale state)."""
+        chain = (view_name, key)
+        if chain in self._eager_inflight:
+            return
+        wound = self._wounds.get(chain)
+        if wound is not None and wound.created < verified_since:
+            del self._wounds[chain]
+            self.wounds_healed += 1
+
+    def wounded_keys(self, view_name: str) -> List[Hashable]:
+        """Keys with open wounds for ``view_name`` (scrub work list)."""
+        return sorted((key for (name, key) in self._wounds
+                       if name == view_name), key=repr)
+
+    @property
+    def open_wounds(self) -> int:
+        return len(self._wounds)
+
+    # -- eager execution ordering ------------------------------------------
+
+    def eager_begin(self, view_name: str, key: Hashable, executor: Any,
+                    origin: float, base_ts: int) -> None:
+        """A propagation for ``(view, key)`` starts executing on
+        ``executor`` (a node id, ``"repair"``, or an inline token).
+
+        Wounds the chain when it overlaps another in-flight execution,
+        or reorders behind a newer-timestamped record already executed
+        by a *different* executor — the two shapes that can strand a
+        stale live row no same-node FIFO can prevent."""
+        chain = (view_name, key)
+        inflight = self._eager_inflight.get(chain)
+        if inflight:
+            self.overlap_wounds += 1
+            self.note_wound(view_name, key, min(origin, min(inflight)),
+                            "cross-coordinator-overlap")
+        else:
+            last = self._last_eager.get(chain)
+            if (last is not None and last[0] > base_ts
+                    and last[1] != executor):
+                self.overlap_wounds += 1
+                self.note_wound(view_name, key, min(origin, last[2]),
+                                "cross-coordinator-reorder")
+        self._eager_inflight.setdefault(chain, []).append(origin)
+
+    def eager_end(self, view_name: str, key: Hashable, executor: Any,
+                  origin: float, base_ts: int, success: bool) -> None:
+        chain = (view_name, key)
+        inflight = self._eager_inflight.get(chain)
+        if inflight is not None:
+            try:
+                inflight.remove(origin)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not inflight:
+                del self._eager_inflight[chain]
+        if success:
+            last = self._last_eager.get(chain)
+            if last is None or base_ts >= last[0]:
+                self._last_eager[chain] = (base_ts, executor, origin)
+
+    # -- inline-pipeline pending -------------------------------------------
+
+    def open_pending(self, view_name: str, key: Hashable) -> int:
+        """Register an inline-pipeline propagation; returns a token."""
+        self._inline_token += 1
+        self._inline[self._inline_token] = (view_name, key, self.env.now)
+        return self._inline_token
+
+    def close_pending(self, token: int) -> None:
+        self._inline.pop(token, None)
+
+    # -- certificates ------------------------------------------------------
+
+    def sources(self, view_name: str) -> List[StaleSource]:
+        """Every outstanding staleness source for ``view_name`` now."""
+        out: List[StaleSource] = []
+        for outbox in self.manager._outboxes.values():
+            for key, appended_at in outbox.unresolved_for(view_name):
+                out.append(StaleSource(key, appended_at, "outbox-lag"))
+        for key, origin in self.manager.skew.pending_sources(view_name):
+            out.append(StaleSource(key, origin, "fold-backlog"))
+        for name, key, origin in self._inline.values():
+            if name == view_name:
+                out.append(StaleSource(key, origin, "inline-pending"))
+        for (name, key), wound in self._wounds.items():
+            if name == view_name:
+                out.append(StaleSource(key, wound.origin, wound.provenance))
+        return out
+
+    def certificate(self, view_name: str,
+                    bound_ms: Optional[float] = None,
+                    sources: Optional[List[StaleSource]] = None
+                    ) -> StalenessCertificate:
+        """The view's staleness certificate as of now.
+
+        ``sources`` lets the fresh read path snapshot the source set
+        once and reuse it for escalation math, keeping the certificate,
+        the compensation work list, and the residual all consistent
+        with one instant.
+        """
+        now = self.env.now
+        srcs = self.sources(view_name) if sources is None else sources
+        if not srcs:
+            return StalenessCertificate(view_name, now, 0.0, "fresh", 0,
+                                        bound_ms)
+        binding = min(srcs, key=lambda s: (s.origin, repr(s.key)))
+        return StalenessCertificate(
+            view_name, now, max(0.0, now - binding.origin),
+            binding.provenance, len(srcs), bound_ms)
+
+    @staticmethod
+    def lagging_keys(sources: List[StaleSource], horizon: float
+                     ) -> List[Tuple[Hashable, float, str]]:
+        """Keys with a source older than ``horizon``, oldest origin per
+        key, sorted by key repr (the compensation work list)."""
+        by_key: Dict[Hashable, Tuple[float, str]] = {}
+        for source in sources:
+            if source.origin >= horizon:
+                continue
+            current = by_key.get(source.key)
+            if current is None or source.origin < current[0]:
+                by_key[source.key] = (source.origin, source.provenance)
+        return sorted(((key, origin, provenance)
+                       for key, (origin, provenance) in by_key.items()),
+                      key=lambda entry: repr(entry[0]))
+
+    @staticmethod
+    def residual_certificate(certificate: StalenessCertificate,
+                             sources: List[StaleSource], bound_ms: float,
+                             fully_compensated: bool
+                             ) -> StalenessCertificate:
+        """The certificate an escalated read serves after compensation.
+
+        ``sources`` is the snapshot the certificate was derived from.
+        Sources older than the bound were covered by base-table reads;
+        the residual staleness is the oldest *remaining* source's age
+        (<= bound when fully compensated)."""
+        horizon = certificate.as_of - bound_ms
+        provenance = f"compensated({certificate.provenance})"
+        if not fully_compensated:
+            return replace(certificate, bound_ms=bound_ms, bound_met=False,
+                           compensated=True, provenance=provenance)
+        residual = 0.0
+        for source in sources:
+            if source.origin < horizon:
+                continue  # covered by the compensation read
+            residual = max(residual, certificate.as_of - source.origin)
+        return replace(certificate, staleness_ms=min(residual, bound_ms),
+                       bound_ms=bound_ms, bound_met=True, compensated=True,
+                       provenance=provenance)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Tracker counters (wound lifecycle + current exposure)."""
+        return {
+            "open_wounds": self.open_wounds,
+            "wounds_opened": self.wounds_opened,
+            "wounds_healed": self.wounds_healed,
+            "overlap_wounds": self.overlap_wounds,
+            "inline_pending": len(self._inline),
+        }

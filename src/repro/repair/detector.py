@@ -68,6 +68,11 @@ class Divergence:
     kind: str  # "stray-live-rows" | "missing-live-row" | "stuck-init"
                # | "content-mismatch"
     detail: str = ""
+    # View keys holding unexpected live rows for this base key (set for
+    # kind == "stray-live-rows"); the repairer demotes them explicitly,
+    # because replaying the winning state is an LWW no-op that never
+    # touches a resurrected row off the winner's chain walk.
+    strays: Tuple[Any, ...] = ()
 
 
 def canonical_base_row(view: ViewDefinition,
@@ -224,7 +229,8 @@ def verify_row(coordinator, view: ViewDefinition, base_key: Hashable,
                     key=repr)
     if strays:
         return Divergence(view.name, base_key, "stray-live-rows",
-                          f"unexpected live rows {strays!r}")
+                          f"unexpected live rows {strays!r}",
+                          strays=tuple(strays))
     if not expected:
         return None
     merged = yield from coordinator.get_row(view.name, expected_live, quorum)

@@ -200,7 +200,12 @@ class ViewScrubber:
         self.metrics.ranges_skipped_clean += (1 << self.range_depth) - len(dirty)
         if not dirty:
             cluster.trace("scrub", "view clean", view=view.name)
-            return 0, True
+            # Digest trees compare an all-replica merge, which cannot
+            # prove quorum-read visibility: chains the freshness tracker
+            # holds wounds for still need a per-key quorum verify_row
+            # before their wounds may clear.
+            return (yield from self._verify_wounded(view, coordinator,
+                                                    budget, live))
         scanner = self._scanners.get(view.name)
         if scanner is None:
             scanner = TokenRangeScanner(cluster, view.base_table,
@@ -228,6 +233,7 @@ class ViewScrubber:
                               coordinator=coordinator.node.node_id)
             spent += 1
             self.metrics.rows_scanned += 1
+            verify_started = env.now
             try:
                 divergence = yield from verify_row(
                     coordinator, view, key, manager.maintainer.quorum,
@@ -236,13 +242,19 @@ class ViewScrubber:
                 self.metrics.rows_skipped_unavailable += 1
                 continue
             if divergence is None:
+                # Incidental quorum-level cleanliness evidence: an open
+                # wound observed before this verify began can heal.
+                manager.freshness.note_verified_clean(view.name, key,
+                                                     verify_started)
                 continue
             self.metrics.divergences_found += 1
             self.metrics.note_divergence(env.now)
+            manager.freshness.note_divergence(divergence, verify_started)
             cluster.trace("scrub", "divergence confirmed", view=view.name,
                           key=key, kind=divergence.kind)
             try:
-                yield from repropagate_row(manager, coordinator, view, key)
+                yield from repropagate_row(manager, coordinator, view, key,
+                                           strays=divergence.strays)
             except (QuorumError, PropagationError):
                 self.metrics.repair_failures += 1
                 cluster.trace("scrub", "repair failed", view=view.name,
@@ -251,3 +263,62 @@ class ViewScrubber:
                 self.metrics.repairs_applied += 1
                 cluster.trace("scrub", "repaired", view=view.name, key=key)
         return spent, False
+
+    def _verify_wounded(self, view, coordinator, budget: int, live):
+        """Quorum-verify chains with open freshness wounds after a
+        digest-clean comparison; a simulation process.
+
+        Wounds record propagations that *failed* — the digest merge can
+        look converged while the failed chain's row is invisible to a
+        majority read, so only a per-key ``verify_row`` (or a successful
+        repair) may clear them.  This pass gathers healing evidence
+        only: a digest-clean round proved the all-replica merges agree,
+        so a per-key quorum divergence here is sub-majority replication
+        lag (a hint still pending), not chain damage.  Re-driving the
+        row would be actively wrong — ``repropagate_row`` reads base at
+        majority and can observe an *older* base state than the
+        all-replica merge, resurrecting a dead live row.  The wound is
+        left open (bounded reads keep escalating) until replica-level
+        anti-entropy closes the visibility gap and a later pass finds
+        the key quorum-clean.  Returns ``(rows_spent, clean)``; the
+        view only counts clean when no wound survives the pass.
+        """
+        cluster = self.cluster
+        env = cluster.env
+        manager = cluster.view_manager
+        tracker = manager.freshness
+        spent = 0
+        clean = True
+        for key in tracker.wounded_keys(view.name):
+            if spent >= budget:
+                clean = False
+                break
+            if self.rate_limit > 0:
+                yield env.timeout(self.rate_limit)
+            if coordinator.node.is_down:
+                coordinator = self._alive_coordinator()
+                if coordinator is None:
+                    return spent, False
+                self.metrics.coordinator_switches += 1
+                cluster.trace("scrub", "coordinator re-elected mid-round",
+                              view=view.name,
+                              coordinator=coordinator.node.node_id)
+            spent += 1
+            self.metrics.rows_scanned += 1
+            verify_started = env.now
+            try:
+                divergence = yield from verify_row(
+                    coordinator, view, key, manager.maintainer.quorum,
+                    tuple(live.get(key, ())))
+            except QuorumError:
+                self.metrics.rows_skipped_unavailable += 1
+                clean = False
+                continue
+            if divergence is None:
+                tracker.note_verified_clean(view.name, key, verify_started)
+                continue
+            clean = False
+            tracker.note_divergence(divergence, verify_started)
+            cluster.trace("scrub", "wounded chain lagging quorum visibility",
+                          view=view.name, key=key, kind=divergence.kind)
+        return spent, clean and not tracker.wounded_keys(view.name)

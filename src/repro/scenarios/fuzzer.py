@@ -42,7 +42,11 @@ from repro.scenarios.runner import (
     ScenarioResult,
     default_config,
 )
-from repro.scenarios.workload import RETRIABLE, BaseWorkload
+from repro.scenarios.workload import (
+    READ_RETRIABLE,
+    RETRIABLE,
+    BaseWorkload,
+)
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -219,7 +223,8 @@ class ScheduleWorkload(BaseWorkload):
             except RETRIABLE:
                 yield env.timeout(self.retry_backoff)
                 continue
-            self.record_acked(entry["key"], entry["cells"], entry["ts"])
+            self.record_acked(entry["key"], entry["cells"], entry["ts"],
+                              at=env.now)
             return
         self.record_ambiguous(SCENARIO_TABLE, entry["key"], entry["cells"],
                               entry["ts"])
@@ -233,7 +238,7 @@ class ScheduleWorkload(BaseWorkload):
                 yield from client.get_view(
                     scenario.view.name, entry["view_key"],
                     scenario.view.materialized_columns, self.r)
-            except RETRIABLE:
+            except READ_RETRIABLE:
                 yield env.timeout(self.retry_backoff)
                 continue
             self.reads_done += 1

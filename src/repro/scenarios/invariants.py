@@ -34,12 +34,19 @@ stop*:
     Every adversary cleaned up after itself: the runner records any
     partition, slowdown, skew, or down node it had to heal itself at
     quiescence, and this invariant reports them.
+``FreshnessBoundHonored``
+    Every bounded-staleness view read that claimed its bound actually
+    honored it: replayed against the acknowledged-update oracle, the
+    result reflects every update acked ``max_staleness_ms`` before the
+    read's certificate time (no failure excuse — lost and abandoned
+    propagations must be covered by wounds and compensation).
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.freshness import check_bounded_reads
 from repro.views.invariants import check_view, live_entries
 
 __all__ = [
@@ -51,6 +58,7 @@ __all__ = [
     "BoundedQueueDepth",
     "NoLeakedLocks",
     "ClusterHealed",
+    "FreshnessBoundHonored",
     "STANDING_INVARIANTS",
 ]
 
@@ -280,6 +288,28 @@ class ClusterHealed(Invariant):
                 for item in scenario.unhealed]
 
 
+class FreshnessBoundHonored(Invariant):
+    """Bounded-staleness reads kept their promise against the oracle.
+
+    Checked only after ambiguous Puts are resolved (the runner settles
+    them before invariants run): an ambiguous-but-applied Put carries an
+    infinite ack time, so it is never *required* by any horizon yet
+    still excuses rows it moved.  Unlike the session invariant there is
+    deliberately no lost/abandoned-propagation excuse: the freshness
+    subsystem exists precisely to cover failures with wounds and
+    compensation reads.
+    """
+
+    name = "freshness-bound-honored"
+
+    def check(self, scenario) -> List[str]:
+        observations = scenario.workload.bounded_observations
+        if not observations:
+            return []
+        return check_bounded_reads(scenario.view, observations,
+                                   scenario.workload.applied)
+
+
 STANDING_INVARIANTS = (
     ViewOracleAgreement(),
     SessionReadYourWrites(),
@@ -288,4 +318,5 @@ STANDING_INVARIANTS = (
     BoundedQueueDepth(),
     NoLeakedLocks(),
     ClusterHealed(),
+    FreshnessBoundHonored(),
 )

@@ -364,6 +364,8 @@ class Scenario:
             "ambiguous_dropped": self.workload.ambiguous_dropped,
             "session_reads": self.workload.reads_done,
             "session_reads_failed": self.workload.reads_failed,
+            "bounded_reads": self.workload.bounded_reads_done,
+            "bounded_reads_failed": self.workload.bounded_reads_failed,
             "completed_propagations": manager.completed_propagations,
             "lost_propagations": manager.lost_propagations,
             "abandoned_propagations": manager.abandoned_propagations,
@@ -379,6 +381,7 @@ class Scenario:
                                            "max_depth", "lag", "folded")}
         if manager.skew.enabled:
             stats["skew"] = manager.skew_stats()
+        stats["freshness"] = manager.freshness_stats()
         stats["locks"] = manager.locks.stats()
         if scrubber is not None:
             stats["scrub"] = {

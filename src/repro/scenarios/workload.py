@@ -28,7 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.errors import CoordinatorCrashError, NodeDownError, QuorumError
+from repro.errors import (
+    CoordinatorCrashError,
+    NodeDownError,
+    QuorumError,
+    ViewInitTimeoutError,
+)
+from repro.freshness import BoundedReadObservation
 from repro.views.model import BaseUpdate
 
 __all__ = [
@@ -41,6 +47,9 @@ __all__ = [
 # Exceptions a retry loop rides out: the coordinator is down (or died
 # mid-operation) or a quorum could not be assembled.
 RETRIABLE = (NodeDownError, QuorumError, CoordinatorCrashError)
+# Reads additionally ride out an Init-marked row that outlives the spin
+# budget (a crashed propagation holds the marker until repair).
+READ_RETRIABLE = RETRIABLE + (ViewInitTimeoutError,)
 
 
 @dataclass
@@ -77,10 +86,13 @@ class BaseWorkload:
         self.applied: List[BaseUpdate] = []
         self.ambiguous: List[AmbiguousOp] = []
         self.observations: List[SessionObservation] = []
+        self.bounded_observations: List[BoundedReadObservation] = []
         self.acked_ops = 0
         self.unacked_ops = 0
         self.reads_done = 0
         self.reads_failed = 0
+        self.bounded_reads_done = 0
+        self.bounded_reads_failed = 0
         self.ambiguous_applied = 0
         self.ambiguous_dropped = 0
 
@@ -92,11 +104,16 @@ class BaseWorkload:
     # -- bookkeeping ---------------------------------------------------------
 
     def record_acked(self, key: Hashable, cells: Dict[str, Any],
-                     ts: int) -> None:
-        """An acked Put: every cell becomes an oracle update."""
+                     ts: int, at: float = 0.0) -> None:
+        """An acked Put: every cell becomes an oracle update.
+
+        ``at`` is the simulated ack time — the clock bounded-staleness
+        promises are audited against.
+        """
         self.acked_ops += 1
         for column, value in cells.items():
-            self.applied.append(BaseUpdate(key, column, value, ts))
+            self.applied.append(BaseUpdate(key, column, value, ts,
+                                           acked_at=at))
 
     def record_ambiguous(self, table: str, key: Hashable,
                          cells: Dict[str, Any], ts: int) -> None:
@@ -115,9 +132,13 @@ class BaseWorkload:
         for op in self.ambiguous:
             if self._landed(cluster, op):
                 self.ambiguous_applied += 1
+                # Never acknowledged: no client was ever promised this
+                # write by any time, so the freshness audit must not
+                # require it (it still excuses rows it moved).
                 for column, value in op.cells.items():
                     self.applied.append(
-                        BaseUpdate(op.key, column, value, op.timestamp))
+                        BaseUpdate(op.key, column, value, op.timestamp,
+                                   acked_at=float("inf")))
             else:
                 self.ambiguous_dropped += 1
         self.ambiguous = []
@@ -162,9 +183,15 @@ class ScenarioWorkload(BaseWorkload):
     stream: one seed fixes the whole history.
     """
 
+    # Staleness bounds (sim-ms) bounded reads draw from: tight enough to
+    # force escalations under adversaries, loose enough to also see
+    # bound hits.
+    BOUNDS = (5.0, 25.0, 100.0, 400.0)
+
     def __init__(self, *, ops: int = 120, base_keys: int = 6,
                  view_keys: int = 4, mean_gap: float = 3.0,
-                 session_fraction: float = 0.25, w: int = 2, r: int = 2,
+                 session_fraction: float = 0.25,
+                 bounded_read_fraction: float = 0.15, w: int = 2, r: int = 2,
                  max_attempts: int = 40, retry_backoff: float = 5.0,
                  key_chooser=None):
         super().__init__()
@@ -178,6 +205,7 @@ class ScenarioWorkload(BaseWorkload):
         self.key_chooser = key_chooser
         self.mean_gap = mean_gap
         self.session_fraction = session_fraction
+        self.bounded_read_fraction = bounded_read_fraction
         self.w = w
         self.r = r
         self.max_attempts = max_attempts
@@ -213,6 +241,9 @@ class ScenarioWorkload(BaseWorkload):
                 yield from self._session_op(scenario, session_client,
                                             table, key, i, rng)
                 continue
+            if rng.random() < self.bounded_read_fraction:
+                yield from self._bounded_read(scenario, pool, rng)
+                continue
 
             roll = rng.random()
             if roll < 0.15:
@@ -242,9 +273,38 @@ class ScenarioWorkload(BaseWorkload):
             except RETRIABLE:
                 yield env.timeout(self.retry_backoff)
                 continue
-            self.record_acked(key, cells, ts)
+            self.record_acked(key, cells, ts, at=env.now)
             return
         self.record_ambiguous(table, key, cells, ts)
+
+    def _bounded_read(self, scenario, pool, rng):
+        """A bounded-staleness view read, recorded for the audit."""
+        env = scenario.cluster.env
+        nodes = len(pool)
+        view_key = f"g{rng.randrange(self.view_keys)}"
+        bound = self.BOUNDS[rng.randrange(len(self.BOUNDS))]
+        columns = scenario.view.materialized_columns
+        start = rng.randrange(nodes)
+        for attempt in range(self.max_attempts):
+            client = pool[(start + attempt) % nodes]
+            try:
+                fresh = yield from client.get_view_fresh(
+                    scenario.view.name, view_key, columns, self.r,
+                    max_staleness_ms=bound)
+            except READ_RETRIABLE:
+                yield env.timeout(self.retry_backoff)
+                continue
+            self.bounded_reads_done += 1
+            self.bounded_observations.append(BoundedReadObservation(
+                view_key=view_key, bound_ms=bound,
+                as_of=fresh.certificate.as_of,
+                rows=tuple((res.base_key, dict(res.values))
+                           for res in fresh.results),
+                escalated=fresh.escalated,
+                bound_met=bool(fresh.certificate.bound_met),
+                issued_at=env.now))
+            return
+        self.bounded_reads_failed += 1
 
     def _session_op(self, scenario, client, table, key, i, rng):
         """A session Put followed by a session view read of its row."""
@@ -261,7 +321,7 @@ class ScenarioWorkload(BaseWorkload):
                 # Sessions pin their coordinator: wait for it, don't hop.
                 yield env.timeout(self.retry_backoff)
                 continue
-            self.record_acked(key, cells, ts)
+            self.record_acked(key, cells, ts, at=env.now)
             break
         else:
             self.record_ambiguous(table, key, cells, ts)
@@ -272,7 +332,7 @@ class ScenarioWorkload(BaseWorkload):
             try:
                 results = yield from client.get_view(
                     scenario.view.name, view_key, columns, self.r)
-            except RETRIABLE:
+            except READ_RETRIABLE:
                 yield env.timeout(self.retry_backoff)
                 continue
             self.reads_done += 1

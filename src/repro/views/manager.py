@@ -50,12 +50,16 @@ from repro.common.records import Cell, ColumnName
 from repro.errors import (
     CoordinatorCrashError,
     NoSuchViewError,
+    PropagationDeadlineError,
     PropagationError,
     QuorumError,
     SessionError,
     ViewDefinitionError,
     ViewExistsError,
 )
+from repro.freshness.certificate import FreshnessTracker
+from repro.freshness.read import fresh_view_get
+from repro.freshness.slo import FreshnessSLO
 from repro.sim.resources import Semaphore
 from repro.views import read as view_read
 from repro.views.definition import ViewDefinition
@@ -109,7 +113,9 @@ class ViewManager:
         self.completed_propagations = 0
         self.lost_propagations = 0
         self.abandoned_propagations = 0
+        self.deadline_abandoned_propagations = 0
         self.folded_propagations = 0
+        self.read_stats = view_read.ViewReadStats()
         # Fault-injection hooks (ChaosMonkey.crash_during_propagation):
         # consulted once per consumed record (or per inline driver),
         # after the scheduling delay but before Algorithm 2 runs; a hook
@@ -133,6 +139,11 @@ class ViewManager:
         self.skew = SkewService(self)
         if self.skew.cache.enabled:
             self.maintainer.on_view_write = self.skew.cache.invalidate
+        # Freshness subsystem (repro.freshness): staleness certificates
+        # derived from outbox/fold/inline/wound metadata, plus the SLO
+        # accounting for bounded-staleness reads.
+        self.freshness = FreshnessTracker(self)
+        self.freshness_slo = FreshnessSLO()
 
     @property
     def pending_propagations(self) -> int:
@@ -301,10 +312,14 @@ class ViewManager:
             else:
                 # Nobody is obligated to consume the completion event.
                 completion.defuse()
+            # Staleness clock starts at the ack, not at driver startup.
+            origin = self.env.now
+            pending_token = self.freshness.open_pending(view.name, key)
             self.env.process(
                 self._propagation_driver(coordinator, view, table, key,
                                          cells, base_ts, collector, extract,
-                                         completion, backpressure),
+                                         completion, backpressure,
+                                         pending_token, origin),
                 name=f"propagate:{view.name}:{key!r}")
 
     def _backpressure_for(self, coordinator_id: int) -> Semaphore:
@@ -407,9 +422,18 @@ class ViewManager:
                     self._merge_guess(seen, ViewKeyGuess.from_cell(view, cell))
             guesses = sorted(seen.values(),
                              key=lambda g: g.timestamp, reverse=True)
-            yield from self._propagate_with_retries(
-                coordinator, view, record.table, key, guesses,
-                record.update_values, base_ts)
+            origin = record.appended_at
+            self.freshness.eager_begin(view.name, key, outbox.node_id,
+                                       origin, base_ts)
+            success = False
+            try:
+                yield from self._propagate_with_retries(
+                    coordinator, view, record.table, key, guesses,
+                    record.update_values, base_ts, started_at=origin)
+                success = True
+            finally:
+                self.freshness.eager_end(view.name, key, outbox.node_id,
+                                         origin, base_ts, success)
             self.completed_propagations += 1
             self.cluster.trace("propagation", "completed", view=view.name,
                                key=key, ts=base_ts)
@@ -421,7 +445,20 @@ class ViewManager:
             # retry, no escalation) — exactly the divergence the repair
             # subsystem (repro.repair) exists to detect and heal.
             self.lost_propagations += 1
+            self.freshness.note_wound(view.name, key, record.appended_at,
+                                      "crash-lost")
             self.cluster.trace("propagation", "lost to coordinator crash",
+                               view=view.name, key=key, ts=base_ts)
+            record.resolve(exc)
+        except PropagationDeadlineError as exc:
+            # Deadline abandonment: the mitigation for the hot-chain
+            # guess-retry livelock — give the token back instead of
+            # spinning out the round budget; the scrubber heals the row.
+            self.abandoned_propagations += 1
+            self.deadline_abandoned_propagations += 1
+            self.freshness.note_wound(view.name, key, record.appended_at,
+                                      "deadline-abandoned")
+            self.cluster.trace("propagation", "abandoned by deadline",
                                view=view.name, key=key, ts=base_ts)
             record.resolve(exc)
         except PropagationError as exc:
@@ -431,6 +468,8 @@ class ViewManager:
             # Give up quietly; the row is now diverged and the scrubber
             # re-drives it from the NULL anchor.
             self.abandoned_propagations += 1
+            self.freshness.note_wound(view.name, key, record.appended_at,
+                                      "retries-abandoned")
             self.cluster.trace("propagation", "abandoned after retries",
                                view=view.name, key=key, ts=base_ts)
             record.resolve(exc)
@@ -506,8 +545,13 @@ class ViewManager:
     def _propagation_driver(self, coordinator, view: ViewDefinition,
                             table: str, key: Hashable,
                             cells: Dict[ColumnName, Cell], base_ts: int,
-                            collector, extract, completion, backpressure):
+                            collector, extract, completion, backpressure,
+                            pending_token: Optional[int] = None,
+                            origin: Optional[float] = None):
         self._inline_pending += 1
+        if origin is None:
+            origin = self.env.now
+        executor = ("inline", pending_token)
         try:
             # Keep collecting view keys from the remaining replicas
             # (Alg. 1: propagation starts only after the Get has heard
@@ -521,9 +565,17 @@ class ViewManager:
 
             update_values = self._update_values(view, cells)
             guesses = self._guesses(view, responses, extract)
-            yield from self._propagate_with_retries(
-                coordinator, view, table, key, guesses, update_values,
-                base_ts)
+            self.freshness.eager_begin(view.name, key, executor, origin,
+                                       base_ts)
+            success = False
+            try:
+                yield from self._propagate_with_retries(
+                    coordinator, view, table, key, guesses, update_values,
+                    base_ts, started_at=origin)
+                success = True
+            finally:
+                self.freshness.eager_end(view.name, key, executor, origin,
+                                         base_ts, success)
             self.completed_propagations += 1
             self.cluster.trace("propagation", "completed", view=view.name,
                                key=key, ts=base_ts)
@@ -534,7 +586,18 @@ class ViewManager:
             # lost (no retry, no escalation) — exactly the divergence the
             # repair subsystem (repro.repair) exists to detect and heal.
             self.lost_propagations += 1
+            self.freshness.note_wound(view.name, key, origin, "crash-lost")
             self.cluster.trace("propagation", "lost to coordinator crash",
+                               view=view.name, key=key, ts=base_ts)
+            if not completion.triggered:
+                completion.defuse()
+                completion.fail(exc)
+        except PropagationDeadlineError as exc:
+            self.abandoned_propagations += 1
+            self.deadline_abandoned_propagations += 1
+            self.freshness.note_wound(view.name, key, origin,
+                                      "deadline-abandoned")
+            self.cluster.trace("propagation", "abandoned by deadline",
                                view=view.name, key=key, ts=base_ts)
             if not completion.triggered:
                 completion.defuse()
@@ -546,6 +609,8 @@ class ViewManager:
             # Give up quietly; the row is now diverged and the scrubber
             # re-drives it from the NULL anchor.
             self.abandoned_propagations += 1
+            self.freshness.note_wound(view.name, key, origin,
+                                      "retries-abandoned")
             self.cluster.trace("propagation", "abandoned after retries",
                                view=view.name, key=key, ts=base_ts)
             if not completion.triggered:
@@ -559,6 +624,8 @@ class ViewManager:
         finally:
             backpressure.release()
             self._inline_pending -= 1
+            if pending_token is not None:
+                self.freshness.close_pending(pending_token)
 
     @staticmethod
     def _merge_guess(seen: Dict[Any, ViewKeyGuess],
@@ -590,10 +657,18 @@ class ViewManager:
                                 table: str, key: Hashable,
                                 guesses: List[ViewKeyGuess],
                                 update_values: Dict[ColumnName, Any],
-                                base_ts: int):
-        """Algorithm 1 lines 5-7: retry guesses until one propagates."""
+                                base_ts: int,
+                                started_at: Optional[float] = None):
+        """Algorithm 1 lines 5-7: retry guesses until one propagates.
+
+        ``started_at`` is when the update entered the pipeline; with
+        ``propagation_deadline_ms`` configured, retrying past the
+        deadline raises :class:`PropagationDeadlineError` (the first
+        attempt always runs, even for a record consumed late).
+        """
         exclusive = view.view_key_column in update_values
         mode = self.config.propagation_concurrency
+        deadline = self.config.propagation_deadline_ms
         rounds = 0
         while True:
             rounds += 1
@@ -601,6 +676,13 @@ class ViewManager:
                 raise PropagationError(
                     f"update for base key {key!r} could not be propagated "
                     f"to view {view.name!r} after {rounds - 1} rounds")
+            if (deadline > 0 and started_at is not None and rounds > 1
+                    and self.env.now - started_at >= deadline):
+                raise PropagationDeadlineError(
+                    f"update for base key {key!r} exceeded the "
+                    f"{deadline:g} ms propagation deadline for view "
+                    f"{view.name!r} (age {self.env.now - started_at:.1f} ms "
+                    f"after {rounds - 1} rounds)")
             if mode == "locks":
                 yield from self.locks.acquire(view.name, key, exclusive)
                 try:
@@ -688,6 +770,31 @@ class ViewManager:
                  columns: Tuple[ColumnName, ...], r: int, session=None):
         """Read live rows for ``view_key``; blocks on session barriers."""
         view = self.view(view_name)
+        yield from self._read_barrier(coordinator, view, view_key, session)
+        results = yield from self._view_get_inner(coordinator, view,
+                                                  view_key, columns, r)
+        return results
+
+    def view_get_fresh(self, coordinator, view_name: str, view_key: Any,
+                       columns: Tuple[ColumnName, ...], r: int,
+                       max_staleness_ms: Optional[float] = None,
+                       session=None):
+        """Bounded-staleness view read (repro.freshness).
+
+        Returns a :class:`~repro.freshness.read.FreshViewRead`: the live
+        rows plus the staleness certificate they were served under.
+        With ``max_staleness_ms`` set, a certificate over the bound
+        escalates to a base-table compensation read for the lagging
+        keys; ``None`` attaches the certificate without ever escalating.
+        """
+        result = yield from fresh_view_get(
+            self, coordinator, view_name, view_key, tuple(columns), r,
+            max_staleness_ms, session)
+        return result
+
+    def _read_barrier(self, coordinator, view: ViewDefinition, view_key: Any,
+                      session) -> Any:
+        """Session barrier + lazy-delta flush preceding any view read."""
         if session is not None:
             if session.coordinator_id != coordinator.node.node_id:
                 raise SessionError(
@@ -695,33 +802,48 @@ class ViewManager:
                     "session's coordinator "
                     f"(session: {session.coordinator_id}, "
                     f"request: {coordinator.node.node_id})")
-            pending = session.pending_barriers(view_name)
+            pending = session.pending_barriers(view.name)
             if pending:
                 self.cluster.trace("session", "view Get blocking",
-                                   view=view_name,
+                                   view=view.name,
                                    session=session.session_id,
                                    pending=pending)
-            yield from self.sessions.barrier(session, view_name)
+            yield from self.sessions.barrier(session, view.name)
         # Merge-on-read: lazy (heavy-key) deltas that could hide this
         # view key's live rows must materialize before the read — the
         # session barrier above only waited for records to *resolve*,
         # which for a folded record happens at fold time.
         yield from self.skew.flush_for_read(coordinator, view, view_key)
+
+    def _view_get_inner(self, coordinator, view: ViewDefinition,
+                        view_key: Any, columns: Tuple[ColumnName, ...],
+                        r: int):
+        """The cache + Algorithm 4 core, after barriers have run."""
         yield from coordinator.node._use_cpu(self.config.service.coordinator)
         cache = self.skew.cache
         if cache.enabled:
-            cached = cache.lookup(view_name, view_key, columns, r)
+            cached = cache.lookup(view.name, view_key, columns, r)
             if cached is not None:
                 return cached
-            token = cache.version(view_name, view_key)
+            token = cache.version(view.name, view_key)
         results = yield from view_read.view_get(
-            self.env, coordinator, view, view_key, columns, r)
+            self.env, coordinator, view, view_key, columns, r,
+            stats=self.read_stats)
         if cache.enabled:
             # Read-through populate, guarded by the version token: a
             # propagation that invalidated this key while our quorum
             # read was in flight wins — the stale result is not stored.
-            cache.store(view_name, view_key, columns, r, token, results)
+            cache.store(view.name, view_key, columns, r, token, results)
         return results
+
+    def freshness_stats(self) -> Dict[str, Any]:
+        """Freshness tracker + SLO + read-path counters."""
+        stats = self.freshness.stats()
+        stats["slo"] = self.freshness_slo.stats()
+        stats["init_spins"] = self.read_stats.init_spins
+        stats["init_timeouts"] = self.read_stats.init_timeouts
+        stats["deadline_abandoned"] = self.deadline_abandoned_propagations
+        return stats
 
     # -- backfill (views defined over populated tables) --------------------------------
 

@@ -41,12 +41,19 @@ __all__ = [
 @dataclass(frozen=True)
 class BaseUpdate:
     """One single-column base-table update (a multi-column Put is several
-    updates sharing a timestamp)."""
+    updates sharing a timestamp).
+
+    ``acked_at`` is the simulated time the Put was acknowledged to its
+    client (``inf`` for ambiguous Puts resolved as applied only after
+    the fact) — the bounded-staleness audit clock.  It does not affect
+    equality: the update's identity is (key, column, value, timestamp).
+    """
 
     key: Hashable
     column: ColumnName
     value: Any
     timestamp: int
+    acked_at: float = field(default=0.0, compare=False)
 
     def as_cell(self) -> Cell:
         return Cell.make(self.value, self.timestamp)

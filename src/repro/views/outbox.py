@@ -81,18 +81,22 @@ class OutboxRecord:
     """One committed base update awaiting propagation to one view."""
 
     __slots__ = ("seq", "view", "table", "key", "update_values", "base_ts",
-                 "sources", "completion", "riders", "superseded")
+                 "sources", "completion", "riders", "superseded",
+                 "appended_at")
 
     def __init__(self, seq: int, view: ViewDefinition, table: str,
                  key: Hashable, update_values: Dict[ColumnName, Any],
                  base_ts: int, source: Tuple[object, object],
-                 completion: Event):
+                 completion: Event, appended_at: float = 0.0):
         self.seq = seq
         self.view = view
         self.table = table
         self.key = key
         self.update_values = update_values
         self.base_ts = base_ts
+        # Simulated append time: the freshness subsystem measures a
+        # record's staleness contribution from here until it resolves.
+        self.appended_at = appended_at
         # (collector, extract) pairs; grows when superseded records fold
         # their observed view-key versions into the winner's guess set.
         self.sources: List[Tuple[object, object]] = [source]
@@ -164,6 +168,10 @@ class NodeOutbox:
         self._waiters: deque[Event] = deque()
         # Watermark bookkeeping: seqs resolved above the watermark.
         self._resolved_seqs: Set[int] = set()
+        # seq -> record, for every appended-but-unresolved record; the
+        # freshness tracker derives per-view staleness and lagging key
+        # sets from this (records leave on resolve, riders included).
+        self._unresolved: Dict[int, OutboxRecord] = {}
         self._watermark_waiters: List[Tuple[int, int, Event]] = []
         self._tie = 0
         # Observability.
@@ -192,7 +200,8 @@ class NodeOutbox:
         self.appended += 1
         record = OutboxRecord(self.appended, view, table, key,
                               dict(update_values), base_ts, source,
-                              completion)
+                              completion, appended_at=self.env.now)
+        self._unresolved[record.seq] = record
         completion.add_callback(lambda _event: self._mark_resolved(record.seq))
         chain = record.chain_key
         self.chain_appends[chain] = self.chain_appends.get(chain, 0) + 1
@@ -274,6 +283,15 @@ class NodeOutbox:
         """Unresolved records targeting ``view_name``."""
         return self.view_depths.get(view_name, 0)
 
+    def unresolved_for(self, view_name: str
+                       ) -> List[Tuple[Hashable, float]]:
+        """``(base_key, appended_at)`` of every unresolved record for
+        ``view_name`` (riders of coalesced winners included — they are
+        distinct acknowledged updates whose effects are still pending)."""
+        return [(record.key, record.appended_at)
+                for record in self._unresolved.values()
+                if record.view.name == view_name]
+
     # -- internals ---------------------------------------------------------
 
     def _claim(self, limit: int) -> List[OutboxRecord]:
@@ -303,6 +321,7 @@ class NodeOutbox:
             self._waiters.popleft().succeed()
 
     def _mark_resolved(self, seq: int) -> None:
+        self._unresolved.pop(seq, None)
         self._resolved_seqs.add(seq)
         watermark = self.low_watermark
         while watermark + 1 in self._resolved_seqs:

@@ -15,10 +15,10 @@ two accessible live rows for one base row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.common.records import NULL_TIMESTAMP, ColumnName
-from repro.errors import ViewError
+from repro.errors import ViewError, ViewInitTimeoutError
 from repro.views.definition import BASE_KEY_COLUMN, INIT_COLUMN, ViewDefinition
 from repro.views.versioned import (
     NULL_VIEW_KEY,
@@ -26,11 +26,24 @@ from repro.views.versioned import (
     split_wide_row,
 )
 
-__all__ = ["ViewResult", "view_get"]
+__all__ = ["ViewReadStats", "ViewResult", "view_get"]
 
 # Spin parameters for Init-marked rows.
 _SPIN_INTERVAL = 0.2
 _MAX_SPINS = 2000
+
+
+@dataclass
+class ViewReadStats:
+    """Read-path counters shared by every view Get of one manager.
+
+    ``init_spins`` counts individual waits on an Init-marked row;
+    ``init_timeouts`` counts reads that exhausted the spin budget and
+    raised :class:`~repro.errors.ViewInitTimeoutError`.
+    """
+
+    init_spins: int = 0
+    init_timeouts: int = 0
 
 
 @dataclass(frozen=True)
@@ -51,11 +64,14 @@ class ViewResult:
 
 
 def view_get(env, coordinator, view: ViewDefinition, view_key: Any,
-             columns: Tuple[ColumnName, ...], r: int):
+             columns: Tuple[ColumnName, ...], r: int,
+             stats: Optional[ViewReadStats] = None):
     """Algorithm 4: return live rows matching ``view_key``.
 
     A simulation process; yields a list of :class:`ViewResult` sorted by
     base key.  ``r`` is the read quorum for the underlying wide-row Get.
+    Exhausting the Init spin budget raises
+    :class:`~repro.errors.ViewInitTimeoutError` (counted in ``stats``).
     """
     if view_key == NULL_VIEW_KEY:
         raise ViewError("the NULL view key is internal and cannot be read")
@@ -89,7 +105,12 @@ def view_get(env, coordinator, view: ViewDefinition, view_key: Any,
         if not initializing:
             return results
         spins += 1
+        if stats is not None:
+            stats.init_spins += 1
         if spins > _MAX_SPINS:
-            raise ViewError(
-                f"view {view.name!r} row {view_key!r} stuck initializing")
+            if stats is not None:
+                stats.init_timeouts += 1
+            raise ViewInitTimeoutError(
+                f"view {view.name!r} row {view_key!r} stuck initializing "
+                f"after {spins - 1} spins")
         yield env.timeout(_SPIN_INTERVAL)

@@ -47,6 +47,9 @@ class Session:
     _pending: Dict[str, Set[Event]] = field(default_factory=dict)
     # view name -> {outbox: highest registered seq} (outbox pipeline).
     _offsets: Dict[str, Dict[object, int]] = field(default_factory=dict)
+    # view name -> the last staleness certificate a fresh-path read
+    # served to this session (repro.freshness).
+    _certificates: Dict[str, object] = field(default_factory=dict)
     ended: bool = False
 
     def pending_for(self, view_name: str) -> List[Event]:
@@ -62,6 +65,16 @@ class Session:
             if seq > outbox.low_watermark:
                 count += 1
         return count
+
+    def note_certificate(self, certificate) -> None:
+        """Record the certificate attached to a fresh-path view read so
+        the client can inspect what staleness its session observed."""
+        self._certificates[certificate.view_name] = certificate
+
+    def last_certificate(self, view_name: str):
+        """The most recent staleness certificate served to this session
+        for ``view_name``, or None if no fresh-path read ran."""
+        return self._certificates.get(view_name)
 
     @property
     def pending_count(self) -> int:

@@ -167,7 +167,8 @@ class PendingDelta:
     """
 
     __slots__ = ("view", "key", "node_id", "folded", "affected_keys",
-                 "attempts", "first_folded_at", "last_folded_at")
+                 "attempts", "first_folded_at", "last_folded_at",
+                 "first_appended_at")
 
     def __init__(self, view: ViewDefinition, key: Hashable, node_id: int,
                  now: float):
@@ -179,6 +180,10 @@ class PendingDelta:
         self.attempts = 0
         self.first_folded_at = now
         self.last_folded_at = now
+        # Oldest outbox append time folded in: the staleness clock for
+        # this chain starts when the earliest unflushed update was
+        # acknowledged, not when it was folded.
+        self.first_appended_at = now
 
     @property
     def chain(self) -> ChainKey:
@@ -193,6 +198,8 @@ class PendingDelta:
         self.first_folded_at = min(self.first_folded_at,
                                    other.first_folded_at)
         self.last_folded_at = max(self.last_folded_at, other.last_folded_at)
+        self.first_appended_at = min(self.first_appended_at,
+                                     other.first_appended_at)
 
 
 class HotViewCache:
@@ -377,6 +384,9 @@ class SkewService:
                 self._idle.succeed()
         delta.folded += 1
         delta.last_folded_at = self.env.now
+        delta.first_appended_at = min(delta.first_appended_at,
+                                      getattr(record, "appended_at",
+                                              self.env.now))
         self.folded_records += 1
         for view_key in self._affected_keys(view, record, gathered):
             delta.affected_keys.add(view_key)
@@ -409,6 +419,22 @@ class SkewService:
         if view_name is None:
             return len(chains)
         return sum(1 for chain in chains if chain[0] == view_name)
+
+    def pending_sources(self, view_name: str
+                        ) -> List[Tuple[Hashable, float]]:
+        """``(base key, oldest append time)`` per pending/in-flight delta
+        for the freshness tracker: every folded-but-unflushed update is a
+        staleness source anchored at its earliest acknowledged record."""
+        merged: Dict[Hashable, float] = {}
+        pending = list(self._deltas.values())
+        pending.extend(delta for _gate, delta in self._flushing.values())
+        for delta in pending:
+            if delta.view.name != view_name:
+                continue
+            origin = merged.get(delta.key)
+            if origin is None or delta.first_appended_at < origin:
+                merged[delta.key] = delta.first_appended_at
+        return list(merged.items())
 
     @property
     def heavy_keys(self) -> int:
@@ -546,6 +572,9 @@ class SkewService:
             if delta.attempts >= self.flush_max_attempts:
                 self.dropped_records += delta.folded
                 self.dropped_chains += 1
+                self.manager.freshness.note_wound(
+                    chain[0], chain[1], delta.first_appended_at,
+                    "flush-dropped")
                 self.cluster.trace(
                     "skew", "delta dropped after failed flushes",
                     view=chain[0], key=chain[1], folded=delta.folded)
@@ -561,6 +590,9 @@ class SkewService:
             self.dropped_records += delta.folded
             self.dropped_chains += 1
             self.flush_failures += 1
+            self.manager.freshness.note_wound(
+                chain[0], chain[1], delta.first_appended_at,
+                "flush-dropped")
         else:
             self.flushed_records += delta.folded
             self.flushed_chains += 1

@@ -1,0 +1,183 @@
+"""Deterministic end-to-end tests of the bounded-staleness read path."""
+
+import pytest
+
+from repro.cluster.client import ClientHandle, SyncClient
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import ClusterSnapshot
+from repro.views.definition import ViewDefinition
+
+COLUMNS = ("sec", "payload")
+
+
+def build(**overrides):
+    config = ClusterConfig(nodes=4, replication_factor=3, seed=11,
+                           propagation_pipeline="outbox", **overrides)
+    cluster = Cluster(config)
+    cluster.create_table("T")
+    cluster.create_view(ViewDefinition("V", "T", "sec", ("payload",)))
+    client = SyncClient(ClientHandle(cluster, 1, 0))
+    return cluster, client
+
+
+def break_propagation(cluster):
+    """Simulate the guess-retry livelock: every round fails."""
+    manager = cluster.view_manager
+
+    def failing_round(*_args, **_kwargs):
+        yield cluster.env.timeout(0.5)
+        return False
+
+    original = manager._attempt_round
+    manager._attempt_round = failing_round
+    return original
+
+
+def test_unbounded_read_serves_with_certificate():
+    cluster, client = build()
+    client.put("T", "k1", {"sec": "s1", "payload": "p0"}, w=2)
+    client.settle()
+    fresh = client.get_view_fresh("V", "s1", COLUMNS, r=2)
+    assert len(fresh) == 1
+    assert fresh.results[0]["payload"] == "p0"
+    assert not fresh.escalated
+    assert fresh.certificate.is_fresh
+    assert fresh.certificate.bound_ms is None
+
+
+def test_bound_hit_serves_from_the_view():
+    cluster, client = build()
+    client.put("T", "k1", {"sec": "s1", "payload": "p0"}, w=2)
+    client.settle()
+    fresh = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                  max_staleness_ms=100.0)
+    assert not fresh.escalated
+    assert fresh.certificate.bound_met is True
+    assert fresh.certificate.bound_ms == 100.0
+    slo = cluster.view_manager.freshness_slo
+    assert slo.bound_hits == 1
+    assert slo.escalations == 0
+
+
+def test_escalation_compensates_a_lost_data_update():
+    """A wounded chain's stale payload is healed from the base table."""
+    cluster, client = build(propagation_max_rounds=3)
+    client.put("T", "k1", {"sec": "s1", "payload": "old"}, w=2)
+    client.settle()
+
+    original = break_propagation(cluster)
+    client.put("T", "k1", {"payload": "new"}, w=2)
+    client.settle()
+    manager = cluster.view_manager
+    assert manager.abandoned_propagations == 1
+    assert manager.freshness.wounded_keys("V") == ["k1"]
+
+    # The plain view read still serves the stale payload.
+    stale = client.get_view("V", "s1", COLUMNS, r=2)
+    assert stale[0]["payload"] == "old"
+
+    # A bounded read must escalate and merge the fresh base value.
+    fresh = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                  max_staleness_ms=5.0)
+    assert fresh.escalated
+    assert fresh.compensated_keys == ("k1",)
+    assert fresh.certificate.bound_met is True
+    assert fresh.certificate.compensated
+    assert fresh.certificate.staleness_ms <= 5.0
+    assert fresh.results[0]["payload"] == "new"
+
+    # Repair heals the wound; bounded reads serve from the view again.
+    manager._attempt_round = original
+    scrubber = cluster.start_scrubber(interval=20.0)
+    cluster.run(until=cluster.env.now + 200.0)
+    scrubber.stop()
+    cluster.run_until_idle()
+    assert manager.freshness.wounded_keys("V") == []
+    healed = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                   max_staleness_ms=5.0)
+    assert not healed.escalated
+    assert healed.results[0]["payload"] == "new"
+
+
+def test_escalation_drops_a_row_the_base_moved_away():
+    """A lost view-key move: the stale row under the old view key must
+    not be served by a bounded read."""
+    cluster, client = build(propagation_max_rounds=3)
+    client.put("T", "k1", {"sec": "s1", "payload": "p0"}, w=2)
+    client.settle()
+
+    break_propagation(cluster)
+    client.put("T", "k1", {"sec": "s2"}, w=2)
+    client.settle()
+
+    stale = client.get_view("V", "s1", COLUMNS, r=2)
+    assert [res.base_key for res in stale] == ["k1"]
+
+    old_home = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                     max_staleness_ms=5.0)
+    assert old_home.escalated
+    assert len(old_home) == 0  # the base maps k1 to s2 now
+
+    new_home = client.get_view_fresh("V", "s2", COLUMNS, r=2,
+                                     max_staleness_ms=5.0)
+    assert new_home.escalated
+    assert [res.base_key for res in new_home] == ["k1"]
+    assert new_home.results[0]["payload"] == "p0"
+
+
+def test_compensation_limit_caps_work_and_admits_the_miss():
+    cluster, client = build(propagation_max_rounds=3,
+                            freshness_compensation_limit=1)
+    for key in ("k1", "k2"):
+        client.put("T", key, {"sec": "s1", "payload": "old"}, w=2)
+    client.settle()
+    break_propagation(cluster)
+    for key in ("k1", "k2"):
+        client.put("T", key, {"payload": "new"}, w=2)
+    client.settle()
+    assert len(cluster.view_manager.freshness.wounded_keys("V")) == 2
+
+    fresh = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                  max_staleness_ms=5.0)
+    assert fresh.escalated
+    assert len(fresh.compensated_keys) == 1
+    # Truncated compensation never claims the bound.
+    assert fresh.certificate.bound_met is False
+    assert cluster.view_manager.freshness_slo.bound_misses == 1
+
+
+def test_session_records_the_served_certificate():
+    cluster, client = build()
+    client.begin_session()
+    client.put("T", "k1", {"sec": "s1", "payload": "p0"}, w=2)
+    fresh = client.get_view_fresh("V", "s1", COLUMNS, r=2,
+                                  max_staleness_ms=50.0)
+    session = client.handle.session
+    assert session.last_certificate("V") == fresh.certificate
+    assert session.last_certificate("missing") is None
+    client.end_session()
+
+
+def test_negative_bound_is_rejected():
+    cluster, client = build()
+    with pytest.raises(ValueError):
+        client.get_view_fresh("V", "s1", COLUMNS, r=2, max_staleness_ms=-1.0)
+
+
+def test_snapshot_surfaces_freshness_counters():
+    cluster, client = build(propagation_max_rounds=3)
+    client.put("T", "k1", {"sec": "s1", "payload": "old"}, w=2)
+    client.settle()
+    break_propagation(cluster)
+    client.put("T", "k1", {"payload": "new"}, w=2)
+    client.settle()
+    client.get_view_fresh("V", "s1", COLUMNS, r=2, max_staleness_ms=5.0)
+    client.get_view_fresh("V", "s1", COLUMNS, r=2, max_staleness_ms=1e9)
+    snap = ClusterSnapshot.capture(cluster)
+    assert snap.freshness_reads_bounded == 2
+    assert snap.freshness_escalations == 1
+    assert snap.freshness_bound_hits == 1
+    assert snap.freshness_compensated_keys == 1
+    assert snap.freshness_open_wounds == 1
+    assert snap.freshness_wounds_opened == 1

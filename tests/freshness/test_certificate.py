@@ -1,0 +1,241 @@
+"""Unit tests for the freshness tracker and certificate math."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.freshness.certificate import FreshnessTracker, StaleSource
+from repro.freshness.slo import HISTOGRAM_BOUNDS, FreshnessSLO
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_tracker():
+    clock = _Clock()
+    manager = SimpleNamespace(
+        env=clock,
+        _outboxes={},
+        skew=SimpleNamespace(pending_sources=lambda view_name: []),
+    )
+    return FreshnessTracker(manager), clock
+
+
+# -- wounds ------------------------------------------------------------------
+
+
+def test_wound_open_and_heal():
+    tracker, clock = make_tracker()
+    clock.now = 50.0
+    tracker.note_wound("V", "k1", 10.0, "crash-lost")
+    assert tracker.open_wounds == 1
+    assert tracker.wounded_keys("V") == ["k1"]
+    assert tracker.wounded_keys("other") == []
+    tracker.note_repaired("V", "k1")
+    assert tracker.open_wounds == 0
+    assert tracker.wounds_healed == 1
+
+
+def test_wound_merge_keeps_oldest_origin():
+    tracker, clock = make_tracker()
+    clock.now = 50.0
+    tracker.note_wound("V", "k1", 30.0, "retries-abandoned")
+    clock.now = 60.0
+    tracker.note_wound("V", "k1", 10.0, "crash-lost")
+    assert tracker.wounds_opened == 1  # merged, not a second wound
+    sources = tracker.sources("V")
+    assert len(sources) == 1
+    assert sources[0].origin == 10.0
+    assert sources[0].provenance == "crash-lost"
+
+
+def test_wound_merge_refreshes_created_time():
+    """A later failure merged into an open wound must not be clearable
+    by a verification that started before the later failure."""
+    tracker, clock = make_tracker()
+    clock.now = 50.0
+    tracker.note_wound("V", "k1", 30.0, "crash-lost")
+    clock.now = 70.0
+    tracker.note_wound("V", "k1", 60.0, "crash-lost")
+    # Verify began between the two failures: must NOT clear.
+    tracker.note_verified_clean("V", "k1", verified_since=55.0)
+    assert tracker.open_wounds == 1
+    # Verify began after the second failure: clears.
+    tracker.note_verified_clean("V", "k1", verified_since=75.0)
+    assert tracker.open_wounds == 0
+
+
+def test_inflight_propagation_vetoes_clearing():
+    tracker, clock = make_tracker()
+    clock.now = 10.0
+    tracker.note_wound("V", "k1", 5.0, "crash-lost")
+    tracker.eager_begin("V", "k1", 2, 9.0, 100)
+    tracker.note_repaired("V", "k1")
+    assert tracker.open_wounds == 1
+    tracker.note_verified_clean("V", "k1", verified_since=20.0)
+    assert tracker.open_wounds == 1
+    tracker.eager_end("V", "k1", 2, 9.0, 100, success=True)
+    tracker.note_repaired("V", "k1")
+    assert tracker.open_wounds == 0
+
+
+# -- eager-execution ordering ------------------------------------------------
+
+
+def test_overlapping_executions_wound_the_chain():
+    tracker, clock = make_tracker()
+    clock.now = 10.0
+    tracker.eager_begin("V", "k1", 0, 8.0, 100)
+    tracker.eager_begin("V", "k1", 1, 9.0, 200)
+    assert tracker.overlap_wounds == 1
+    assert tracker.open_wounds == 1
+    # Origin covers the oldest overlapping update.
+    assert tracker.sources("V")[0].origin == 8.0
+    tracker.eager_end("V", "k1", 0, 8.0, 100, success=True)
+    tracker.eager_end("V", "k1", 1, 9.0, 200, success=True)
+    assert tracker.open_wounds == 1  # stays until repaired/verified
+
+
+def test_reorder_across_executors_wounds_the_chain():
+    tracker, clock = make_tracker()
+    clock.now = 10.0
+    tracker.eager_begin("V", "k1", 0, 8.0, 200)
+    tracker.eager_end("V", "k1", 0, 8.0, 200, success=True)
+    clock.now = 20.0
+    # Older base timestamp, different executor: stale-landing hazard.
+    tracker.eager_begin("V", "k1", 1, 18.0, 100)
+    assert tracker.open_wounds == 1
+    tracker.eager_end("V", "k1", 1, 18.0, 100, success=True)
+
+
+def test_same_executor_reorder_is_safe():
+    """Per-node chain FIFOs order same-executor records; no wound."""
+    tracker, clock = make_tracker()
+    tracker.eager_begin("V", "k1", 0, 8.0, 200)
+    tracker.eager_end("V", "k1", 0, 8.0, 200, success=True)
+    tracker.eager_begin("V", "k1", 0, 9.0, 100)
+    tracker.eager_end("V", "k1", 0, 9.0, 100, success=True)
+    assert tracker.open_wounds == 0
+
+
+def test_newer_base_ts_after_older_is_safe():
+    tracker, clock = make_tracker()
+    tracker.eager_begin("V", "k1", 0, 8.0, 100)
+    tracker.eager_end("V", "k1", 0, 8.0, 100, success=True)
+    tracker.eager_begin("V", "k1", 1, 9.0, 200)
+    tracker.eager_end("V", "k1", 1, 9.0, 200, success=True)
+    assert tracker.open_wounds == 0
+
+
+# -- certificates ------------------------------------------------------------
+
+
+def test_certificate_fresh_when_no_sources():
+    tracker, clock = make_tracker()
+    clock.now = 123.0
+    cert = tracker.certificate("V")
+    assert cert.is_fresh
+    assert cert.staleness_ms == 0.0
+    assert cert.provenance == "fresh"
+    assert cert.within(0.0)
+
+
+def test_certificate_binds_to_oldest_source():
+    tracker, clock = make_tracker()
+    clock.now = 100.0
+    tracker.note_wound("V", "k1", 40.0, "crash-lost")
+    tracker.note_wound("V", "k2", 70.0, "retries-abandoned")
+    cert = tracker.certificate("V")
+    assert cert.staleness_ms == 60.0
+    assert cert.provenance == "crash-lost"
+    assert cert.open_sources == 2
+    assert cert.within(60.0) and not cert.within(59.9)
+
+
+def test_inline_pending_is_a_source():
+    tracker, clock = make_tracker()
+    clock.now = 10.0
+    token = tracker.open_pending("V", "k1")
+    clock.now = 35.0
+    cert = tracker.certificate("V")
+    assert cert.staleness_ms == 25.0
+    assert cert.provenance == "inline-pending"
+    tracker.close_pending(token)
+    assert tracker.certificate("V").is_fresh
+
+
+def test_lagging_keys_min_merges_per_key():
+    sources = [
+        StaleSource("k1", 40.0, "outbox-lag"),
+        StaleSource("k1", 20.0, "crash-lost"),
+        StaleSource("k2", 80.0, "fold-backlog"),
+        StaleSource("k3", 95.0, "outbox-lag"),
+    ]
+    lagging = FreshnessTracker.lagging_keys(sources, horizon=90.0)
+    assert lagging == [("k1", 20.0, "crash-lost"),
+                       ("k2", 80.0, "fold-backlog")]
+
+
+def test_residual_certificate_after_full_compensation():
+    tracker, clock = make_tracker()
+    clock.now = 100.0
+    sources = [StaleSource("k1", 20.0, "crash-lost"),
+               StaleSource("k2", 95.0, "outbox-lag")]
+    cert = tracker.certificate("V", 30.0, sources=sources)
+    assert cert.staleness_ms == 80.0
+    served = FreshnessTracker.residual_certificate(cert, sources, 30.0,
+                                                   fully_compensated=True)
+    # k1 (older than the horizon) was compensated; k2's 5 ms remain.
+    assert served.bound_met is True
+    assert served.compensated is True
+    assert served.staleness_ms == 5.0
+    assert served.provenance == "compensated(crash-lost)"
+
+
+def test_residual_certificate_after_capped_compensation():
+    tracker, clock = make_tracker()
+    clock.now = 100.0
+    sources = [StaleSource("k1", 20.0, "crash-lost")]
+    cert = tracker.certificate("V", 30.0, sources=sources)
+    served = FreshnessTracker.residual_certificate(cert, sources, 30.0,
+                                                   fully_compensated=False)
+    assert served.bound_met is False
+    assert served.compensated is True
+
+
+# -- SLO accounting ----------------------------------------------------------
+
+
+def test_slo_histogram_and_counters():
+    slo = FreshnessSLO()
+    slo.observe("V", 0.5, bounded=False)
+    slo.observe("V", 3.0, bounded=True)
+    slo.observe("V", 9999.0, bounded=True, escalated=True,
+                compensated_keys=4, bound_met=False)
+    stats = slo.stats()
+    assert stats["reads_unbounded"] == 1
+    assert stats["reads_bounded"] == 2
+    assert stats["bound_hits"] == 1
+    assert stats["escalations"] == 1
+    assert stats["bound_misses"] == 1
+    assert stats["compensated_keys"] == 4
+    assert stats["max_served_staleness_ms"]["V"] == 9999.0
+    histogram = slo.histogram("V")
+    assert len(histogram) == len(HISTOGRAM_BOUNDS) + 1
+    assert histogram[0] == (1.0, 1)          # 0.5 ms
+    assert histogram[2] == (5.0, 1)          # 3.0 ms
+    assert histogram[-1] == (float("inf"), 1)  # 9999 ms
+    assert sum(count for _edge, count in histogram) == 3
+
+
+def test_slo_unknown_view_histogram_is_empty():
+    slo = FreshnessSLO()
+    assert all(count == 0 for _edge, count in slo.histogram("missing"))
+
+
+def test_bound_validation():
+    slo = FreshnessSLO()
+    with pytest.raises(TypeError):
+        slo.observe("V", 1.0)  # bounded is keyword-only and required
